@@ -1,0 +1,118 @@
+// Command benchtables regenerates the tables and figures of the paper's
+// evaluation section on the synthetic suite and simulated runtime.
+//
+// Usage:
+//
+//	benchtables [flags] <experiment>...
+//
+// where each experiment is one of: fig2 fig5 fig6 fig7 fig8 fig9 table2
+// table3 table4 deadlock all.
+//
+// Flags:
+//
+//	-ranks N   simulated process count for suite experiments (default 256)
+//	-steps N   parallel-step budget override (default: per-experiment)
+//	-quick     shrunken configuration (smoke test)
+//	-seed S    initial guess / partition seed (default 1)
+//	-out DIR   write one file per experiment into DIR instead of stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"southwell/internal/bench"
+)
+
+var experiments = []struct {
+	name string
+	run  func(io.Writer, bench.Config) error
+}{
+	{"fig2", bench.Fig2},
+	{"fig5", bench.Fig5},
+	{"fig6", bench.Fig6},
+	{"table2", bench.Table2},
+	{"table3", bench.Table3},
+	{"table4", bench.Table4},
+	{"fig7", bench.Fig7},
+	{"fig8", bench.Fig8},
+	{"fig9", bench.Fig9},
+	{"deadlock", bench.Deadlock},
+	{"ablation", bench.Ablation},
+}
+
+func main() {
+	ranks := flag.Int("ranks", 0, "simulated process count (0 = default 256)")
+	steps := flag.Int("steps", 0, "parallel-step budget (0 = per-experiment default)")
+	quick := flag.Bool("quick", false, "shrunken smoke-test configuration")
+	seed := flag.Int64("seed", 1, "initial-guess and partition seed")
+	outDir := flag.String("out", "", "write one file per experiment into this directory")
+	flag.Parse()
+
+	cfg := bench.Config{Ranks: *ranks, Steps: *steps, Quick: *quick, Seed: *seed}
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchtables [flags] fig2|fig5|fig6|fig7|fig8|fig9|table2|table3|table4|deadlock|ablation|all")
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	for _, a := range args {
+		if a == "all" {
+			for _, e := range experiments {
+				want[e.name] = true
+			}
+			continue
+		}
+		want[a] = true
+	}
+	known := map[string]bool{}
+	for _, e := range experiments {
+		known[e.name] = true
+	}
+	for a := range want {
+		if !known[a] {
+			fmt.Fprintf(os.Stderr, "benchtables: unknown experiment %q\n", a)
+			os.Exit(2)
+		}
+	}
+
+	for _, e := range experiments {
+		if !want[e.name] {
+			continue
+		}
+		var w io.Writer = os.Stdout
+		var f *os.File
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+				os.Exit(1)
+			}
+			var err error
+			f, err = os.Create(filepath.Join(*outDir, e.name+".txt"))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+				os.Exit(1)
+			}
+			w = f
+		} else {
+			fmt.Printf("==== %s ====\n", e.name)
+		}
+		if err := e.run(w, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		if f != nil {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", filepath.Join(*outDir, e.name+".txt"))
+		} else {
+			fmt.Println()
+		}
+	}
+}

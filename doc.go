@@ -1,0 +1,17 @@
+// Package southwell is a from-scratch Go reproduction of
+//
+//	J. Wolfson-Pou and E. Chow, "Distributed Southwell: An Iterative
+//	Method with Low Communication Costs", SC17.
+//
+// The library lives under internal/: sparse matrices (internal/sparse),
+// problem generators and the synthetic SuiteSparse stand-ins
+// (internal/problem), a multilevel graph partitioner (internal/partition),
+// a simulated one-sided MPI runtime (internal/rma), the scalar and
+// distributed solver families (internal/solvers, internal/dmem), geometric
+// multigrid (internal/multigrid), the public facade (internal/core), and
+// the experiment harness regenerating every table and figure of the paper
+// (internal/bench). See README.md, DESIGN.md, and EXPERIMENTS.md.
+//
+// The benchmarks in bench_test.go regenerate scaled-down versions of each
+// experiment; use cmd/benchtables for the full configurations.
+package southwell

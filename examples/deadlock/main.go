@@ -1,0 +1,53 @@
+// Deadlock example (§2.4 of the paper): the 2016 piggyback-only
+// implementation of Parallel Southwell stalls permanently once every
+// rank's stale estimates convince it that a neighbor has a larger
+// residual. Distributed Southwell's Γ̃ mechanism sends an explicit
+// residual update exactly when a neighbor overestimates a rank, so it
+// pushes straight past the same point.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"southwell/internal/core"
+	"southwell/internal/problem"
+	"southwell/internal/sparse"
+)
+
+func main() {
+	a := problem.Poisson2D(40, 40)
+	if _, err := sparse.Scale(a); err != nil {
+		log.Fatal(err)
+	}
+	const ranks = 40
+
+	b, x := problem.ZeroBSystem(a, 5)
+	pb, err := core.SolveDistributed(a, b, x, core.DistOptions{
+		Method: core.Piggyback2016, Ranks: ranks, Steps: 1000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if pb.Deadlocked {
+		fmt.Printf("piggyback-2016:        DEADLOCK at step %d, ||r|| stuck at %.4f\n",
+			pb.DeadlockStep, pb.Final().ResNorm)
+	} else {
+		fmt.Printf("piggyback-2016:        no deadlock in %d steps (||r|| = %.4g)\n",
+			len(pb.History)-1, pb.Final().ResNorm)
+	}
+
+	b2, x2 := problem.ZeroBSystem(a, 5)
+	ds, err := core.SolveDistributed(a, b2, x2, core.DistOptions{
+		Method: core.DistSWD, Ranks: ranks, Steps: pb.DeadlockStep + 50,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distributed southwell: ||r|| = %.6f after %d steps (%d explicit residual updates)\n",
+		ds.Final().ResNorm, ds.Final().Step, ds.Stats.ResMsgs)
+	fmt.Println("\nThe explicit updates are sent only on the deadlock-risk condition")
+	fmt.Println("(a neighbor overestimating this rank), which is why Distributed")
+	fmt.Println("Southwell cannot stall and still communicates far less than")
+	fmt.Println("Parallel Southwell's update-on-every-change policy.")
+}

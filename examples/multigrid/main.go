@@ -1,0 +1,42 @@
+// Multigrid smoothing example (§4.1 of the paper): use Distributed
+// Southwell as the smoother in a geometric multigrid V-cycle for the 2D
+// Poisson equation and compare against Gauss-Seidel smoothing, including
+// the "1/2 sweep" variant that relaxes only half as many rows per
+// smoothing step.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"southwell/internal/multigrid"
+	"southwell/internal/problem"
+)
+
+func main() {
+	const nx = 127
+	n := nx * nx
+	fmt.Printf("2D Poisson, %dx%d grid, V(1,1) cycles down to 3x3\n\n", nx, nx)
+
+	smoothers := []multigrid.Smoother{
+		multigrid.GaussSeidel{},
+		multigrid.DistSW{SweepFraction: 0.5, Seed: 11},
+		multigrid.DistSW{SweepFraction: 1, Seed: 11},
+	}
+	for _, sm := range smoothers {
+		h, err := multigrid.New(nx, sm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b := problem.RandomVec(n, 3)
+		x := make([]float64, n)
+		hist := h.Solve(b, x, 9)
+		fmt.Printf("%-18s rel. residual per V-cycle:", sm.Name())
+		for _, v := range hist {
+			fmt.Printf(" %8.1e", v)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nDistributed Southwell smoothing is grid-size independent and,")
+	fmt.Println("per relaxation, more efficient than Gauss-Seidel (Figure 6).")
+}

@@ -1,0 +1,50 @@
+// Quickstart: solve one SPD system with the full method family, both in
+// scalar (shared-memory) form and distributed over simulated ranks, and
+// print a side-by-side comparison — the fastest way to see what the
+// library does and why Distributed Southwell exists.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"southwell/internal/core"
+	"southwell/internal/problem"
+	"southwell/internal/sparse"
+)
+
+func main() {
+	// A small irregular finite element Poisson problem (the paper's §2.3
+	// example), symmetrically scaled to unit diagonal.
+	a := problem.FEM2D(40, 0.35, 7)
+	if _, err := sparse.Scale(a); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FEM Poisson problem: n=%d, nnz=%d\n\n", a.N, a.NNZ())
+
+	// --- Scalar methods: residual norm after two sweeps of relaxations.
+	fmt.Println("scalar methods, 2 sweeps (residual norm, parallel steps):")
+	for _, m := range core.ScalarMethods() {
+		b, x := problem.RandomBSystem(a, 42)
+		tr, _, err := core.SolveScalar(a, b, x, core.ScalarOptions{Method: m, MaxRelax: 2 * a.N})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s ||r|| = %.4f   steps = %d\n", tr.Method, tr.Final().ResNorm, tr.NumSteps())
+	}
+
+	// --- Distributed methods over 32 simulated ranks.
+	fmt.Println("\ndistributed methods, 32 ranks, 30 parallel steps:")
+	for _, m := range []core.DistMethod{core.BlockJacobi, core.ParallelSWD, core.DistSWD} {
+		b, x := problem.ZeroBSystem(a, 42)
+		res, err := core.SolveDistributed(a, b, x, core.DistOptions{Method: m, Ranks: 32, Steps: 30})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-22s ||r|| = %.4f   msgs/rank = %7.2f  (solve %d + residual %d)\n",
+			res.Method, res.Final().ResNorm, res.Stats.CommCost(res.P),
+			res.Stats.SolveMsgs, res.Stats.ResMsgs)
+	}
+	fmt.Println("\nNote how Distributed Southwell matches Parallel Southwell's")
+	fmt.Println("convergence with a fraction of the residual-update messages.")
+}

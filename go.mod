@@ -1,0 +1,3 @@
+module southwell
+
+go 1.22

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"southwell/internal/core"
+)
+
+func quickCfg() Config { return Config{Quick: true, Ranks: 32, Seed: 1} }
+
+func TestFig2Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig2(&buf, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, m := range []string{"GS", "SW", "Par SW", "MC GS", "Jacobi"} {
+		if !strings.Contains(out, m) {
+			t.Errorf("Fig2 missing series %q", m)
+		}
+	}
+}
+
+func TestFig5Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig5(&buf, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Dist SW") {
+		t.Error("Fig5 missing Distributed Southwell series")
+	}
+	if !strings.Contains(buf.String(), "0.6") {
+		t.Error("Fig5 missing sweet-spot summary")
+	}
+}
+
+func TestFig6Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig6(&buf, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "GS") || !strings.Contains(out, "Dist SW 0.5 sweep") {
+		t.Errorf("Fig6 missing columns:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) < 5 {
+		t.Error("Fig6 too few rows")
+	}
+}
+
+func TestTablesAndFigsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite runs are slow in -short mode")
+	}
+	cfg := quickCfg()
+	for name, fn := range map[string]func(*bytes.Buffer) error{
+		"table2": func(b *bytes.Buffer) error { return Table2(b, cfg) },
+		"table3": func(b *bytes.Buffer) error { return Table3(b, cfg) },
+		"table4": func(b *bytes.Buffer) error { return Table4(b, cfg) },
+		"fig7":   func(b *bytes.Buffer) error { return Fig7(b, cfg) },
+		"fig8":   func(b *bytes.Buffer) error { return Fig8(b, cfg) },
+		"fig9":   func(b *bytes.Buffer) error { return Fig9(b, cfg) },
+	} {
+		var buf bytes.Buffer
+		if err := fn(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s produced no output", name)
+		}
+		for _, m := range cfg.suiteNames()[:1] {
+			if name[0] == 't' && !strings.Contains(buf.String(), m) {
+				t.Errorf("%s missing matrix %s", name, m)
+			}
+		}
+	}
+}
+
+func TestRunCacheHit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow in -short mode")
+	}
+	cfg := quickCfg()
+	r1, err := runSuite("af_5_k101", core.DistSWD, cfg.ranks(), 10, cfg.seed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := runSuite("af_5_k101", core.DistSWD, cfg.ranks(), 10, cfg.seed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("cache miss for identical run")
+	}
+	ResetCaches()
+	r3, err := runSuite("af_5_k101", core.DistSWD, cfg.ranks(), 10, cfg.seed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 == r3 {
+		t.Error("cache not cleared")
+	}
+}
+
+func TestRunSuiteUnknownMatrix(t *testing.T) {
+	if _, err := runSuite("nope", core.DistSWD, 4, 5, 1); err == nil {
+		t.Error("unknown matrix accepted")
+	}
+}
+
+func TestDagger(t *testing.T) {
+	if dagger(1.5, true, "%.1f") != "1.5" {
+		t.Error("dagger formats value")
+	}
+	if dagger(0, false, "%.1f") != "†" {
+		t.Error("dagger symbol")
+	}
+}
+
+func TestAblationOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := Ablation(&buf, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+	for _, label := range []string{"paper", "no-ghost", "slack-0.5"} {
+		if !strings.Contains(buf.String(), label) {
+			t.Errorf("ablation missing variant %q", label)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"southwell/internal/problem"
+	"southwell/internal/sparse"
+)
+
+func TestPrepareNormalizes(t *testing.T) {
+	a := problem.Poisson2D(12, 12)
+	b, x, err := Prepare(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := a.At(5, 5); math.Abs(d-1) > 1e-12 {
+		t.Errorf("diag = %g after Prepare", d)
+	}
+	r := make([]float64, a.N)
+	a.Residual(b, x, r)
+	if n := sparse.Norm2(r); math.Abs(n-1) > 1e-12 {
+		t.Errorf("‖r0‖ = %g", n)
+	}
+}
+
+func TestSolveScalarAllMethods(t *testing.T) {
+	for _, m := range ScalarMethods() {
+		a := problem.Poisson2D(15, 15)
+		b, x, err := Prepare(a, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, _, err := SolveScalar(a, b, x, ScalarOptions{Method: m, MaxRelax: 2 * a.N})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if tr.Final().ResNorm >= 1 {
+			t.Errorf("%s made no progress", m)
+		}
+	}
+	if _, _, err := SolveScalar(nil, nil, nil, ScalarOptions{Method: "nope"}); err == nil {
+		t.Error("unknown scalar method accepted")
+	}
+}
+
+func TestSolveDistributedMethods(t *testing.T) {
+	for _, m := range []DistMethod{BlockJacobi, ParallelSWD, DistSWD, Piggyback2016} {
+		a := problem.Poisson2D(16, 16)
+		b, x, err := Prepare(a, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := SolveDistributed(a, b, x, DistOptions{Method: m, Ranks: 8, Steps: 10})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if len(res.History) == 0 || res.P != 8 {
+			t.Errorf("%s: bad result shape", m)
+		}
+	}
+	a := problem.Poisson2D(8, 8)
+	b, x, _ := Prepare(a, 4)
+	if _, err := SolveDistributed(a, b, x, DistOptions{Method: "nope", Ranks: 4}); err == nil {
+		t.Error("unknown distributed method accepted")
+	}
+	if _, err := SolveDistributed(a, b, x, DistOptions{Method: DistSWD}); err == nil {
+		t.Error("zero ranks accepted")
+	}
+}
+
+func TestSolveDistributedCustomPartition(t *testing.T) {
+	a := problem.Poisson2D(10, 10)
+	b, x, err := Prepare(a, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := make([]int, a.N)
+	for i := range part {
+		part[i] = i % 4
+	}
+	res, err := SolveDistributed(a, b, x, DistOptions{Method: DistSWD, Ranks: 4, Steps: 5, Part: part})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final().Step != 5 {
+		t.Errorf("steps = %d", res.Final().Step)
+	}
+}
+
+func TestParseDistMethod(t *testing.T) {
+	cases := map[string]DistMethod{
+		"bj": BlockJacobi, "blockjacobi": BlockJacobi,
+		"ps": ParallelSWD, "sos_ps": ParallelSWD,
+		"ds": DistSWD, "sos_sds": DistSWD, "distsw": DistSWD,
+		"pb16": Piggyback2016,
+	}
+	for s, want := range cases {
+		got, err := ParseDistMethod(s)
+		if err != nil || got != want {
+			t.Errorf("ParseDistMethod(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseDistMethod("zzz"); err == nil {
+		t.Error("bad method accepted")
+	}
+}

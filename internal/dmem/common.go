@@ -1,0 +1,433 @@
+package dmem
+
+import (
+	"fmt"
+	"math"
+
+	"southwell/internal/dense"
+	"southwell/internal/rma"
+)
+
+// LocalSolver selects how a rank relaxes its subdomain.
+type LocalSolver int
+
+const (
+	// LocalGS performs one Gauss-Seidel sweep per relaxation — the
+	// artifact's `-loc_solver gs` default used in every paper experiment.
+	LocalGS LocalSolver = iota
+	// LocalDirect solves the local block exactly with a dense LU
+	// factorization computed at setup — the role MKL PARDISO plays in the
+	// artifact. Only sensible for small subdomains.
+	LocalDirect
+)
+
+// Config controls a distributed solve.
+type Config struct {
+	// Steps is the number of parallel steps to run (the paper uses 50).
+	Steps int
+	// Target, when positive, stops the run early once the global residual
+	// norm falls to Target or below (checked at step boundaries).
+	Target float64
+	// Model is the α-β-γ cost model; zero value means rma.DefaultCostModel.
+	Model rma.CostModel
+	// Parallel runs ranks on goroutines instead of sequentially; results
+	// are identical (see rma engine equivalence).
+	Parallel bool
+	// Local selects the subdomain solver (default LocalGS).
+	Local LocalSolver
+}
+
+func (c Config) model() rma.CostModel {
+	if c.Model == (rma.CostModel{}) {
+		return rma.DefaultCostModel()
+	}
+	return c.Model
+}
+
+func (c Config) steps() int {
+	if c.Steps <= 0 {
+		return 50
+	}
+	return c.Steps
+}
+
+// StepStats is the global state after one parallel step, with cumulative
+// communication counters (so differences give per-step costs).
+type StepStats struct {
+	Step         int
+	ResNorm      float64
+	RelaxedRanks int
+	Relaxations  int // cumulative row relaxations
+	SolveMsgs    int64
+	ResMsgs      int64
+	SimTime      float64
+}
+
+// TotalMsgs returns cumulative messages at this step.
+func (s StepStats) TotalMsgs() int64 { return s.SolveMsgs + s.ResMsgs }
+
+// Result is the outcome of a distributed run.
+type Result struct {
+	Method  string
+	P       int
+	N       int
+	History []StepStats // History[0] is the initial state (step 0)
+	Stats   rma.Stats
+	// ActiveFraction is the mean over steps of (relaxing ranks)/P — the
+	// paper's "active processes" metric.
+	ActiveFraction float64
+	// Deadlocked reports that the method stopped making progress with a
+	// nonzero residual (only the 2016 piggyback variant can set this).
+	Deadlocked   bool
+	DeadlockStep int
+	X            []float64 // gathered global solution
+}
+
+// Final returns the last step record.
+func (r *Result) Final() StepStats { return r.History[len(r.History)-1] }
+
+// StepsToNorm returns the (fractionally interpolated) parallel step at
+// which the residual first reached target, interpolating linearly on
+// log10(‖r‖) between recorded steps as the paper does for Table 2.
+func (r *Result) StepsToNorm(target float64) (float64, bool) {
+	lt := math.Log10(target)
+	for i := 1; i < len(r.History); i++ {
+		if r.History[i].ResNorm > target {
+			continue
+		}
+		prev := r.History[i-1]
+		cur := r.History[i]
+		if prev.ResNorm <= target || cur.ResNorm <= 0 {
+			return float64(cur.Step), true
+		}
+		l0 := math.Log10(prev.ResNorm)
+		l1 := math.Log10(cur.ResNorm)
+		f := (l0 - lt) / (l0 - l1)
+		return float64(prev.Step) + f*float64(cur.Step-prev.Step), true
+	}
+	return 0, false
+}
+
+// InterpAtNorm linearly interpolates any cumulative quantity (selected by
+// pick) to the moment the residual norm first reached target.
+func (r *Result) InterpAtNorm(target float64, pick func(StepStats) float64) (float64, bool) {
+	lt := math.Log10(target)
+	for i := 1; i < len(r.History); i++ {
+		if r.History[i].ResNorm > target {
+			continue
+		}
+		prev := r.History[i-1]
+		cur := r.History[i]
+		if prev.ResNorm <= target || cur.ResNorm <= 0 {
+			return pick(cur), true
+		}
+		l0 := math.Log10(prev.ResNorm)
+		l1 := math.Log10(cur.ResNorm)
+		f := (l0 - lt) / (l0 - l1)
+		return pick(prev) + f*(pick(cur)-pick(prev)), true
+	}
+	return 0, false
+}
+
+// rankState is the dynamic per-rank state shared by all methods; the
+// Southwell methods use the norm-estimate fields.
+type rankState struct {
+	rd   *RankData
+	x    []float64
+	r    []float64 // exact local residual
+	norm float64   // exact local ‖r_p‖₂ (kept current at phase boundaries)
+
+	gamma      []float64 // per neighbor: (estimate of) neighbor's norm
+	gammaTilde []float64 // per neighbor: neighbor's estimate of my norm (DS)
+	z          []float64 // per ext row: ghost residual estimate (DS)
+	lastTold   float64   // last norm broadcast to neighbors (PS)
+	sentTo     []bool    // per neighbor: wrote to them in the last send phase
+	// Crossing-correction state (DS): the norm and boundary residuals this
+	// rank sent when it last relaxed, used to mirror the estimate a
+	// crossing neighbor computes from them (keeping Γ̃ exact; DESIGN.md §5).
+	lastSentNorm float64
+	sentBnd      [][]float64 // per neighbor: boundary residuals at send
+
+	extDelta []float64 // scratch, per ext row
+	relaxed  bool      // relaxed in the current step
+
+	// direct, when non-nil, is the dense factorization of the local block
+	// used by LocalDirect; dscratch is its solve buffer.
+	direct   *dense.LU
+	dscratch []float64
+}
+
+// relaxLocal dispatches to the configured local solver and returns the
+// flop count to charge.
+func (rs *rankState) relaxLocal() float64 {
+	if rs.direct != nil {
+		return rs.relaxDirect()
+	}
+	return rs.relaxSweep()
+}
+
+// relaxDirect solves the local block exactly: x_p += A_pp^{-1} r_p, which
+// zeroes the local residual and accumulates -A_qp d into extDelta.
+func (rs *rankState) relaxDirect() float64 {
+	rd := rs.rd
+	d := rs.dscratch
+	rs.direct.Solve(rs.r, d)
+	for li := range rs.r {
+		rs.x[li] += d[li]
+		rs.r[li] = 0
+		for k := rd.RowPtr[li]; k < rd.RowPtr[li+1]; k++ {
+			if rd.IsExt[k] {
+				rs.extDelta[rd.ColExt[k]] -= rd.Val[k] * d[li]
+			}
+		}
+	}
+	m := float64(rd.M())
+	return 2*m*m + float64(rd.NNZ)
+}
+
+// factorLocal builds the dense LU of the local diagonal block.
+func factorLocal(rd *RankData) (*dense.LU, error) {
+	m := rd.M()
+	dm := dense.NewMatrix(m)
+	for li := 0; li < m; li++ {
+		dm.Set(li, li, rd.Diag[li])
+		for k := rd.RowPtr[li]; k < rd.RowPtr[li+1]; k++ {
+			if !rd.IsExt[k] {
+				dm.Set(li, rd.ColLoc[k], rd.Val[k])
+			}
+		}
+	}
+	return dense.FactorLU(dm)
+}
+
+// newRankStates initializes per-rank state from a global initial guess,
+// with exact residuals, exact neighbor norms (setup exchange, not counted),
+// and exact ghosts.
+func newRankStates(l *Layout, b, x []float64) []*rankState {
+	rGlob := make([]float64, l.A.N)
+	l.A.Residual(b, x, rGlob)
+	states := make([]*rankState, l.P)
+	for p := 0; p < l.P; p++ {
+		rd := l.Ranks[p]
+		m := rd.M()
+		rs := &rankState{
+			rd:         rd,
+			x:          make([]float64, m),
+			r:          make([]float64, m),
+			gamma:      make([]float64, rd.Degree()),
+			gammaTilde: make([]float64, rd.Degree()),
+			z:          make([]float64, len(rd.ExtGlob)),
+			sentTo:     make([]bool, rd.Degree()),
+			sentBnd:    make([][]float64, rd.Degree()),
+			extDelta:   make([]float64, len(rd.ExtGlob)),
+		}
+		for li, g := range rd.Glob {
+			rs.x[li] = x[g]
+			rs.r[li] = rGlob[g]
+		}
+		for e, g := range rd.ExtGlob {
+			rs.z[e] = rGlob[g]
+		}
+		rs.norm = rs.computeNorm()
+		states[p] = rs
+	}
+	// Exact initial neighbor norms and Γ̃ (setup exchange).
+	for p := 0; p < l.P; p++ {
+		rs := states[p]
+		for j, q := range rs.rd.Nbrs {
+			rs.gamma[j] = states[q].norm
+			rs.gammaTilde[j] = rs.norm
+		}
+		rs.lastTold = rs.norm
+	}
+	return states
+}
+
+func (rs *rankState) computeNorm() float64 {
+	s := 0.0
+	for _, v := range rs.r {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// relaxSweep performs one Gauss-Seidel sweep over the local rows,
+// maintaining the exact local residual and accumulating residual deltas
+// for external rows in extDelta (which the caller must have zeroed, and is
+// responsible for draining into messages and/or the ghost layer).
+// It returns the flop count for cost charging.
+func (rs *rankState) relaxSweep() float64 {
+	rd := rs.rd
+	for li := range rs.r {
+		d := rs.r[li] / rd.Diag[li]
+		rs.x[li] += d
+		rs.r[li] = 0 // diagonal contribution: r_li -= a_ii * d exactly
+		for k := rd.RowPtr[li]; k < rd.RowPtr[li+1]; k++ {
+			v := rd.Val[k] * d
+			if rd.IsExt[k] {
+				rs.extDelta[rd.ColExt[k]] -= v
+			} else {
+				rs.r[rd.ColLoc[k]] -= v
+			}
+		}
+	}
+	return float64(2*rd.NNZ + 3*rd.M())
+}
+
+// zeroExtDelta clears the scratch delta array (cheap: sized by ghost count).
+func (rs *rankState) zeroExtDelta() {
+	for i := range rs.extDelta {
+		rs.extDelta[i] = 0
+	}
+}
+
+// boundaryResiduals collects the residual values of this rank's boundary
+// rows toward neighbor j (freshly allocated: the slice crosses the
+// simulated network).
+func (rs *rankState) boundaryResiduals(j int) []float64 {
+	rows := rs.rd.MyBnd[j]
+	out := make([]float64, len(rows))
+	for k, li := range rows {
+		out[k] = rs.r[li]
+	}
+	return out
+}
+
+// deltasFor collects extDelta values for neighbor j's boundary slots.
+func (rs *rankState) deltasFor(j int) []float64 {
+	slots := rs.rd.BndExt[j]
+	out := make([]float64, len(slots))
+	for k, e := range slots {
+		out[k] = rs.extDelta[e]
+	}
+	return out
+}
+
+// applyDeltas adds incoming residual deltas from neighbor j to the local
+// boundary rows (same static ordering on both sides; see layout tests).
+func (rs *rankState) applyDeltas(j int, deltas []float64) {
+	for k, li := range rs.rd.MyBnd[j] {
+		rs.r[li] += deltas[k]
+	}
+}
+
+// overwriteGhost replaces the ghost residuals of neighbor j's boundary rows
+// with the values the neighbor sent.
+func (rs *rankState) overwriteGhost(j int, bnd []float64) {
+	for k, e := range rs.rd.BndExt[j] {
+		rs.z[e] = bnd[k]
+	}
+}
+
+// updateGhostAndGamma applies this rank's own extDelta contribution to the
+// ghost layer for neighbor j and adjusts the norm estimate Γ[j] by the
+// boundary energy change — the communication-free estimate improvement at
+// the heart of Distributed Southwell (§3).
+func (rs *rankState) updateGhostAndGamma(j int) {
+	adj := 0.0
+	for _, e := range rs.rd.BndExt[j] {
+		old := rs.z[e]
+		nw := old + rs.extDelta[e]
+		adj += nw*nw - old*old
+		rs.z[e] = nw
+	}
+	g2 := rs.gamma[j]*rs.gamma[j] + adj
+	if g2 < 0 {
+		g2 = 0
+	}
+	rs.gamma[j] = math.Sqrt(g2)
+}
+
+// configureLocal prepares the configured local solver on every rank. The
+// diagonal blocks of an SPD matrix are SPD, so factorization failure means
+// the input violated the library's documented preconditions — panic rather
+// than limp on.
+func configureLocal(states []*rankState, cfg Config) {
+	if cfg.Local != LocalDirect {
+		return
+	}
+	for _, rs := range states {
+		lu, err := factorLocal(rs.rd)
+		if err != nil {
+			panic(fmt.Sprintf("dmem: local block of rank %d not factorizable: %v", rs.rd.P, err))
+		}
+		rs.direct = lu
+		rs.dscratch = make([]float64, rs.rd.M())
+	}
+}
+
+// sqrtNonNeg is sqrt clamped at zero for incrementally adjusted squared
+// norms that can go slightly negative in floating point.
+func sqrtNonNeg(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}
+
+// winsOver is the Parallel Southwell criterion comparison with rank-id tie
+// breaking (DESIGN.md §5): the relaxed set stays independent under exact
+// norms, and at least one rank always qualifies.
+func winsOver(np float64, p int, nq float64, q int) bool {
+	if np != nq {
+		return np > nq
+	}
+	return p < q
+}
+
+// globalNorm combines exact local norms.
+func globalNorm(states []*rankState) float64 {
+	s := 0.0
+	for _, rs := range states {
+		s += rs.norm * rs.norm
+	}
+	return math.Sqrt(s)
+}
+
+// gatherX assembles the global solution vector.
+func gatherX(l *Layout, states []*rankState) []float64 {
+	x := make([]float64, l.A.N)
+	for p, rs := range states {
+		for li, g := range l.Ranks[p].Glob {
+			x[g] = rs.x[li]
+		}
+	}
+	return x
+}
+
+// payload bytes: 8 per float plus a small header.
+func msgBytes(floats int) int { return 8*floats + 16 }
+
+// debugHook, when set (by tests), is invoked with the full rank state at
+// every step boundary so cross-rank invariants can be checked.
+var debugHook func(states []*rankState)
+
+// record appends a step record with cumulative counters.
+func record(res *Result, w *rma.World, states []*rankState, step, relaxedRanks, cumRelax int) {
+	if debugHook != nil {
+		debugHook(states)
+	}
+	st := w.Stats()
+	res.History = append(res.History, StepStats{
+		Step:         step,
+		ResNorm:      globalNorm(states),
+		RelaxedRanks: relaxedRanks,
+		Relaxations:  cumRelax,
+		SolveMsgs:    st.SolveMsgs,
+		ResMsgs:      st.ResMsgs,
+		SimTime:      st.SimTime,
+	})
+}
+
+// finish fills the summary fields of a result.
+func finish(res *Result, l *Layout, w *rma.World, states []*rankState) {
+	res.Stats = w.Stats()
+	res.X = gatherX(l, states)
+	if steps := len(res.History) - 1; steps > 0 {
+		sum := 0.0
+		for _, h := range res.History[1:] {
+			sum += float64(h.RelaxedRanks)
+		}
+		res.ActiveFraction = sum / float64(steps) / float64(l.P)
+	}
+}

@@ -1,0 +1,200 @@
+package dmem
+
+import "southwell/internal/rma"
+
+// dsSolvePayload is a Distributed Southwell relaxation message (Algorithm
+// 3, line 17): boundary residual deltas for the receiver, the sender's
+// boundary residual values (refreshing the receiver's ghost layer z), the
+// sender's exact new norm, and the sender's locally-improved estimate of
+// the receiver's norm (which the receiver stores in Γ̃).
+type dsSolvePayload struct {
+	deltas  []float64
+	bnd     []float64
+	norm    float64
+	estRecv float64
+}
+
+// dsResPayload is an explicit residual update (Algorithm 3, line 29), sent
+// only on deadlock risk: ghost refresh plus the two norms.
+type dsResPayload struct {
+	bnd     []float64
+	norm    float64
+	estRecv float64
+}
+
+// DistSWOptions are Distributed Southwell variants beyond the paper,
+// default-zero for the paper's algorithm.
+type DistSWOptions struct {
+	// NoGhostEstimate disables the communication-free Γ improvement via
+	// the ghost layer (ablation: shows the ghost estimates are
+	// load-bearing for message reduction).
+	NoGhostEstimate bool
+	// UpdateSlack relaxes the explicit-update trigger to
+	// Γ̃ > (1+UpdateSlack)·‖r_p‖ (ablation: trades messages for risk of
+	// slower estimate correction). Zero is the paper's trigger.
+	UpdateSlack float64
+}
+
+// DistributedSouthwell runs the block form of Algorithm 3, the paper's
+// contribution. Ranks decide to relax from *estimates* Γ of neighbor norms;
+// estimates improve locally through the ghost residual layer when a rank
+// relaxes; and an explicit residual update is written to neighbor q only
+// when q's estimate of this rank's norm (Γ̃, maintained exactly without
+// communication) exceeds the actual norm — the deadlock-risk condition.
+func DistributedSouthwell(l *Layout, b, x []float64, cfg Config) *Result {
+	return distributedSouthwell(l, b, x, cfg, DistSWOptions{})
+}
+
+// DistributedSouthwellOpt is DistributedSouthwell with ablation options.
+func DistributedSouthwellOpt(l *Layout, b, x []float64, cfg Config, opts DistSWOptions) *Result {
+	return distributedSouthwell(l, b, x, cfg, opts)
+}
+
+func distributedSouthwell(l *Layout, b, x []float64, cfg Config, opts DistSWOptions) *Result {
+	w := rma.NewWorld(l.P, cfg.model())
+	w.Parallel = cfg.Parallel
+	states := newRankStates(l, b, x)
+	configureLocal(states, cfg)
+	res := &Result{Method: "Distributed Southwell", P: l.P, N: l.A.N}
+	record(res, w, states, 0, 0, 0)
+
+	cumRelax := 0
+	for step := 1; step <= cfg.steps(); step++ {
+		relaxedRanks := 0
+		// Phase 1: decide from estimates; relax; write updates.
+		w.RunPhase(func(p int) {
+			rs := states[p]
+			rs.relaxed = false
+			wins := rs.norm > 0
+			for j, q := range rs.rd.Nbrs {
+				if !winsOver(rs.norm, p, rs.gamma[j], q) {
+					wins = false
+					break
+				}
+			}
+			w.Charge(p, float64(rs.rd.Degree()))
+			if !wins {
+				return
+			}
+			rs.relaxed = true
+			rs.zeroExtDelta()
+			flops := rs.relaxLocal()
+			rs.norm = rs.computeNorm()
+			rs.lastSentNorm = rs.norm
+			w.Charge(p, flops+2*float64(rs.rd.M()))
+			for j, q := range rs.rd.Nbrs {
+				// Local, communication-free improvement of the estimate of
+				// q's norm using the ghost layer (skippable for ablation).
+				if opts.NoGhostEstimate {
+					for _, e := range rs.rd.BndExt[j] {
+						rs.z[e] += rs.extDelta[e]
+					}
+				} else {
+					rs.updateGhostAndGamma(j)
+				}
+				w.Charge(p, 2*float64(len(rs.rd.BndExt[j])))
+				rs.gammaTilde[j] = rs.norm
+				rs.sentTo[j] = true
+				d := rs.deltasFor(j)
+				bnd := rs.boundaryResiduals(j)
+				rs.sentBnd[j] = bnd
+				w.Put(p, q, rma.TagSolve, msgBytes(len(d)+len(bnd)+2),
+					dsSolvePayload{deltas: d, bnd: bnd, norm: rs.norm, estRecv: rs.gamma[j]})
+			}
+		})
+		// Phase 2: absorb writes; detect deadlock risk; write explicit
+		// residual updates where needed.
+		w.RunPhase(func(p int) {
+			rs := states[p]
+			changed := false
+			for _, m := range w.Inbox(p) {
+				pl := m.Payload.(dsSolvePayload)
+				j := rs.rd.NbrIdx[m.From]
+				rs.applyDeltas(j, pl.deltas)
+				if rs.sentTo[j] {
+					// Crossing relaxations: the sender's ghost refresh and
+					// norm predate this rank's own deltas to it, so re-apply
+					// them on top (the "better estimate than doing nothing"
+					// of §3). The sender mirrors this arithmetic when it
+					// processes this rank's message, and Γ̃ is recomputed
+					// from the values this rank sent, so Γ̃ stays exactly
+					// equal to the sender's corrected estimate.
+					adj := 0.0
+					for k, e := range rs.rd.BndExt[j] {
+						nz := pl.bnd[k] + rs.extDelta[e]
+						adj += nz*nz - pl.bnd[k]*pl.bnd[k]
+						if !opts.NoGhostEstimate {
+							rs.z[e] = nz
+						} else {
+							rs.z[e] = pl.bnd[k]
+						}
+					}
+					if opts.NoGhostEstimate {
+						rs.gamma[j] = pl.norm
+						// Γ̃ keeps the value set at send time: the sender
+						// applies no correction either in this mode.
+					} else {
+						rs.gamma[j] = sqrtNonNeg(pl.norm*pl.norm + adj)
+						adjMine := 0.0
+						for k := range rs.rd.MyBnd[j] {
+							b0 := rs.sentBnd[j][k]
+							nb := b0 + pl.deltas[k]
+							adjMine += nb*nb - b0*b0
+						}
+						rs.gammaTilde[j] = sqrtNonNeg(rs.lastSentNorm*rs.lastSentNorm + adjMine)
+					}
+				} else {
+					rs.overwriteGhost(j, pl.bnd)
+					rs.gamma[j] = pl.norm
+					rs.gammaTilde[j] = pl.estRecv
+				}
+				changed = true
+			}
+			for j := range rs.sentTo {
+				rs.sentTo[j] = false
+			}
+			if changed {
+				rs.norm = rs.computeNorm()
+				w.Charge(p, 2*float64(rs.rd.M()))
+			}
+			// Deadlock-risk detection (Algorithm 3, lines 27-30).
+			for j, q := range rs.rd.Nbrs {
+				if rs.gammaTilde[j] > rs.norm*(1+opts.UpdateSlack) {
+					rs.gammaTilde[j] = rs.norm
+					rs.sentTo[j] = true
+					bnd := rs.boundaryResiduals(j)
+					w.Put(p, q, rma.TagResidual, msgBytes(len(bnd)+2),
+						dsResPayload{bnd: bnd, norm: rs.norm, estRecv: rs.gamma[j]})
+				}
+			}
+		})
+		// Phase 3: absorb explicit updates.
+		w.RunPhase(func(p int) {
+			rs := states[p]
+			for _, m := range w.Inbox(p) {
+				pl := m.Payload.(dsResPayload)
+				j := rs.rd.NbrIdx[m.From]
+				rs.overwriteGhost(j, pl.bnd)
+				rs.gamma[j] = pl.norm
+				if !rs.sentTo[j] {
+					rs.gammaTilde[j] = pl.estRecv
+				}
+			}
+			for j := range rs.sentTo {
+				rs.sentTo[j] = false
+			}
+		})
+		for p := range states {
+			if states[p].relaxed {
+				relaxedRanks++
+				cumRelax += states[p].rd.M()
+			}
+		}
+		record(res, w, states, step, relaxedRanks, cumRelax)
+		if cfg.Target > 0 && res.Final().ResNorm <= cfg.Target {
+			break
+		}
+	}
+	finish(res, l, w, states)
+	return res
+}

@@ -1,0 +1,215 @@
+// Package dmem implements the paper's distributed-memory block methods over
+// the simulated one-sided runtime of internal/rma:
+//
+//   - Block Jacobi (Algorithm 1),
+//   - Parallel Southwell, block form (Algorithm 2),
+//   - Distributed Southwell, block form (Algorithm 3) — the contribution,
+//   - the 2016 piggyback-only variant of Parallel Southwell (ref [18]),
+//     which can deadlock and is included for the paper's deadlock claim.
+//
+// Each simulated rank owns a contiguous set of matrix rows under a given
+// partition, performs one local Gauss-Seidel sweep per relaxation (the
+// -loc_solver gs default of the artifact), and exchanges boundary residual
+// deltas, ghost residual values, and residual norms exactly as the paper's
+// algorithms prescribe.
+package dmem
+
+import (
+	"fmt"
+	"sort"
+
+	"southwell/internal/sparse"
+)
+
+// Layout is the static distribution of a matrix over P ranks: who owns
+// which rows, and for every rank the local sparse structure plus the
+// boundary/ghost indexing used for neighbor exchange. Building it
+// corresponds to the paper's setup phase (METIS partition + neighbor
+// discovery), which is not part of the measured solve.
+type Layout struct {
+	A     *sparse.CSR
+	P     int
+	Part  []int   // owner rank of each global row
+	Rows  [][]int // Rows[p]: global rows owned by p, ascending
+	Local []int   // Local[g]: local index of global row g within its owner
+
+	Ranks []*RankData
+}
+
+// RankData is one rank's static view: a local matrix in CSR-like form where
+// each entry is either local (column owned by this rank) or external
+// (column owned by a neighbor), plus boundary exchange plans.
+type RankData struct {
+	P    int   // this rank
+	Glob []int // global row ids, ascending; local index = position
+
+	// Local matrix: entry k of row li couples to colLoc[k] (local index)
+	// when colIsExt[k] is false, else to ext row colExt[k].
+	RowPtr []int
+	ColLoc []int
+	ColExt []int
+	IsExt  []bool
+	Val    []float64
+	Diag   []float64
+	NNZ    int
+
+	// External rows: remote rows coupled to this rank's rows.
+	ExtGlob  []int // global ids, ascending
+	ExtOwner []int // owner rank per ext row
+
+	// Neighbors, ascending rank order.
+	Nbrs   []int
+	NbrIdx map[int]int
+
+	// Exchange plans, all indexed by neighbor position in Nbrs:
+	// BndExt[j]: ext-row indices owned by neighbor j (the ghost layer z
+	// covers exactly these); BndExtLocalInNbr[j]: the local index of each
+	// such row inside neighbor j (for addressing residual deltas).
+	BndExt           [][]int
+	BndExtLocalInNbr [][]int
+	// MyBnd[j]: local rows of this rank that couple into neighbor j (the
+	// boundary points β whose residuals neighbor j ghosts);
+	// MyBndExtInNbr[j]: the ext-slot index of each such row inside
+	// neighbor j's ExtGlob.
+	MyBnd         [][]int
+	MyBndExtInNbr [][]int
+}
+
+// NewLayout distributes a (structurally symmetric) matrix over P ranks
+// according to part. It validates the partition and the symmetry
+// assumption the relaxation kernels rely on.
+func NewLayout(a *sparse.CSR, part []int, p int) (*Layout, error) {
+	if len(part) != a.N {
+		return nil, fmt.Errorf("dmem: partition length %d != n %d", len(part), a.N)
+	}
+	l := &Layout{A: a, P: p, Part: part, Rows: make([][]int, p), Local: make([]int, a.N)}
+	for g := 0; g < a.N; g++ {
+		pr := part[g]
+		if pr < 0 || pr >= p {
+			return nil, fmt.Errorf("dmem: row %d has invalid rank %d", g, pr)
+		}
+		l.Local[g] = len(l.Rows[pr])
+		l.Rows[pr] = append(l.Rows[pr], g)
+	}
+	for pr := 0; pr < p; pr++ {
+		if len(l.Rows[pr]) == 0 {
+			return nil, fmt.Errorf("dmem: rank %d owns no rows", pr)
+		}
+	}
+
+	l.Ranks = make([]*RankData, p)
+	for pr := 0; pr < p; pr++ {
+		l.Ranks[pr] = buildRank(a, l, pr)
+	}
+	// Second pass: cross-rank slot addressing (needs all ExtGlob built).
+	for pr := 0; pr < p; pr++ {
+		rd := l.Ranks[pr]
+		for j, q := range rd.Nbrs {
+			qd := l.Ranks[q]
+			rd.BndExtLocalInNbr[j] = make([]int, len(rd.BndExt[j]))
+			for k, e := range rd.BndExt[j] {
+				rd.BndExtLocalInNbr[j][k] = l.Local[rd.ExtGlob[e]]
+			}
+			rd.MyBndExtInNbr[j] = make([]int, len(rd.MyBnd[j]))
+			for k, li := range rd.MyBnd[j] {
+				g := rd.Glob[li]
+				s := sort.SearchInts(qd.ExtGlob, g)
+				if s >= len(qd.ExtGlob) || qd.ExtGlob[s] != g {
+					return nil, fmt.Errorf("dmem: asymmetric coupling: row %d couples into rank %d but not back", g, q)
+				}
+				rd.MyBndExtInNbr[j][k] = s
+			}
+		}
+	}
+	return l, nil
+}
+
+func buildRank(a *sparse.CSR, l *Layout, p int) *RankData {
+	rows := l.Rows[p]
+	rd := &RankData{
+		P:      p,
+		Glob:   rows,
+		RowPtr: make([]int, len(rows)+1),
+		Diag:   make([]float64, len(rows)),
+		NbrIdx: make(map[int]int),
+	}
+	// Collect external rows first for stable ext indexing.
+	extSet := map[int]bool{}
+	for _, g := range rows {
+		cols, _ := a.Row(g)
+		for _, c := range cols {
+			if l.Part[c] != p {
+				extSet[c] = true
+			}
+		}
+	}
+	rd.ExtGlob = make([]int, 0, len(extSet))
+	for g := range extSet {
+		rd.ExtGlob = append(rd.ExtGlob, g)
+	}
+	sort.Ints(rd.ExtGlob)
+	rd.ExtOwner = make([]int, len(rd.ExtGlob))
+	nbrSet := map[int]bool{}
+	for e, g := range rd.ExtGlob {
+		rd.ExtOwner[e] = l.Part[g]
+		nbrSet[l.Part[g]] = true
+	}
+	rd.Nbrs = make([]int, 0, len(nbrSet))
+	for q := range nbrSet {
+		rd.Nbrs = append(rd.Nbrs, q)
+	}
+	sort.Ints(rd.Nbrs)
+	for j, q := range rd.Nbrs {
+		rd.NbrIdx[q] = j
+	}
+	rd.BndExt = make([][]int, len(rd.Nbrs))
+	rd.BndExtLocalInNbr = make([][]int, len(rd.Nbrs))
+	rd.MyBnd = make([][]int, len(rd.Nbrs))
+	rd.MyBndExtInNbr = make([][]int, len(rd.Nbrs))
+	for e := range rd.ExtGlob {
+		j := rd.NbrIdx[rd.ExtOwner[e]]
+		rd.BndExt[j] = append(rd.BndExt[j], e)
+	}
+
+	// Local matrix entries.
+	extIndex := func(g int) int { return sort.SearchInts(rd.ExtGlob, g) }
+	myBndSeen := make([]map[int]bool, len(rd.Nbrs))
+	for j := range myBndSeen {
+		myBndSeen[j] = map[int]bool{}
+	}
+	for li, g := range rows {
+		cols, vals := a.Row(g)
+		for k, c := range cols {
+			v := vals[k]
+			if c == g {
+				rd.Diag[li] = v
+				continue
+			}
+			if l.Part[c] == p {
+				rd.ColLoc = append(rd.ColLoc, l.Local[c])
+				rd.ColExt = append(rd.ColExt, -1)
+				rd.IsExt = append(rd.IsExt, false)
+			} else {
+				e := extIndex(c)
+				rd.ColLoc = append(rd.ColLoc, -1)
+				rd.ColExt = append(rd.ColExt, e)
+				rd.IsExt = append(rd.IsExt, true)
+				j := rd.NbrIdx[l.Part[c]]
+				if !myBndSeen[j][li] {
+					myBndSeen[j][li] = true
+					rd.MyBnd[j] = append(rd.MyBnd[j], li)
+				}
+			}
+			rd.Val = append(rd.Val, v)
+		}
+		rd.RowPtr[li+1] = len(rd.Val)
+	}
+	rd.NNZ = len(rd.Val)
+	return rd
+}
+
+// M returns the number of local rows.
+func (rd *RankData) M() int { return len(rd.Glob) }
+
+// Degree returns the number of neighbor ranks.
+func (rd *RankData) Degree() int { return len(rd.Nbrs) }

@@ -1,0 +1,108 @@
+package dmem
+
+import "southwell/internal/rma"
+
+// psSolvePayload is a relaxation message: boundary residual deltas with the
+// sender's new residual norm piggybacked (Algorithm 2, line 10).
+type psSolvePayload struct {
+	deltas []float64
+	norm   float64
+}
+
+// psResPayload is an explicit residual-norm update (Algorithm 2, line 20).
+type psResPayload struct {
+	norm float64
+}
+
+// ParallelSouthwell runs the block form of Algorithm 2 over the simulated
+// one-sided runtime. Each parallel step has the algorithm's three phases:
+//
+//  1. ranks whose exact norm is maximal in their neighborhood relax and
+//     write deltas + their new norm to all neighbors;
+//  2. ranks absorb incoming writes, and any rank whose norm changed without
+//     having announced it writes an explicit residual update to all
+//     neighbors — the communication Distributed Southwell eliminates;
+//  3. ranks absorb the explicit updates.
+//
+// Norms in Γ are therefore exact at every decision, making the method
+// mathematically identical to shared-memory block Parallel Southwell.
+func ParallelSouthwell(l *Layout, b, x []float64, cfg Config) *Result {
+	w := rma.NewWorld(l.P, cfg.model())
+	w.Parallel = cfg.Parallel
+	states := newRankStates(l, b, x)
+	configureLocal(states, cfg)
+	res := &Result{Method: "Parallel Southwell", P: l.P, N: l.A.N}
+	record(res, w, states, 0, 0, 0)
+
+	cumRelax := 0
+	for step := 1; step <= cfg.steps(); step++ {
+		relaxedRanks := 0
+		// Phase 1: decide and relax.
+		w.RunPhase(func(p int) {
+			rs := states[p]
+			rs.relaxed = false
+			wins := rs.norm > 0
+			for j, q := range rs.rd.Nbrs {
+				if !winsOver(rs.norm, p, rs.gamma[j], q) {
+					wins = false
+					break
+				}
+			}
+			w.Charge(p, float64(rs.rd.Degree()))
+			if !wins {
+				return
+			}
+			rs.relaxed = true
+			rs.zeroExtDelta()
+			flops := rs.relaxLocal()
+			rs.norm = rs.computeNorm()
+			rs.lastTold = rs.norm
+			w.Charge(p, flops+2*float64(rs.rd.M()))
+			for j, q := range rs.rd.Nbrs {
+				d := rs.deltasFor(j)
+				w.Put(p, q, rma.TagSolve, msgBytes(len(d)+1), psSolvePayload{deltas: d, norm: rs.norm})
+			}
+		})
+		// Phase 2: absorb writes; announce changed norms.
+		w.RunPhase(func(p int) {
+			rs := states[p]
+			changed := false
+			for _, m := range w.Inbox(p) {
+				pl := m.Payload.(psSolvePayload)
+				j := rs.rd.NbrIdx[m.From]
+				rs.applyDeltas(j, pl.deltas)
+				rs.gamma[j] = pl.norm
+				changed = true
+			}
+			if changed {
+				rs.norm = rs.computeNorm()
+				w.Charge(p, 2*float64(rs.rd.M()))
+			}
+			if rs.norm != rs.lastTold {
+				rs.lastTold = rs.norm
+				for _, q := range rs.rd.Nbrs {
+					w.Put(p, q, rma.TagResidual, msgBytes(1), psResPayload{norm: rs.norm})
+				}
+			}
+		})
+		// Phase 3: absorb explicit updates.
+		w.RunPhase(func(p int) {
+			rs := states[p]
+			for _, m := range w.Inbox(p) {
+				rs.gamma[rs.rd.NbrIdx[m.From]] = m.Payload.(psResPayload).norm
+			}
+		})
+		for p := range states {
+			if states[p].relaxed {
+				relaxedRanks++
+				cumRelax += states[p].rd.M()
+			}
+		}
+		record(res, w, states, step, relaxedRanks, cumRelax)
+		if cfg.Target > 0 && res.Final().ResNorm <= cfg.Target {
+			break
+		}
+	}
+	finish(res, l, w, states)
+	return res
+}

@@ -1,0 +1,84 @@
+package dmem
+
+import "southwell/internal/rma"
+
+// Piggyback2016 runs the 2016 precursor of Parallel Southwell (ref [18] of
+// the paper): residual norms travel *only* piggybacked on relaxation
+// messages; there are no explicit residual updates. When every rank's
+// (stale) estimates of its neighbors exceed its own norm, no rank relaxes
+// and the state can never change again: the method deadlocks, as the paper
+// reports it does on all test problems. The run stops at the first such
+// step and sets Result.Deadlocked.
+func Piggyback2016(l *Layout, b, x []float64, cfg Config) *Result {
+	w := rma.NewWorld(l.P, cfg.model())
+	w.Parallel = cfg.Parallel
+	states := newRankStates(l, b, x)
+	configureLocal(states, cfg)
+	res := &Result{Method: "Piggyback 2016", P: l.P, N: l.A.N}
+	record(res, w, states, 0, 0, 0)
+
+	cumRelax := 0
+	for step := 1; step <= cfg.steps(); step++ {
+		relaxedRanks := 0
+		w.RunPhase(func(p int) {
+			rs := states[p]
+			rs.relaxed = false
+			wins := rs.norm > 0
+			for j, q := range rs.rd.Nbrs {
+				if !winsOver(rs.norm, p, rs.gamma[j], q) {
+					wins = false
+					break
+				}
+			}
+			if !wins {
+				return
+			}
+			rs.relaxed = true
+			rs.zeroExtDelta()
+			flops := rs.relaxLocal()
+			rs.norm = rs.computeNorm()
+			w.Charge(p, flops+2*float64(rs.rd.M()))
+			for j, q := range rs.rd.Nbrs {
+				d := rs.deltasFor(j)
+				w.Put(p, q, rma.TagSolve, msgBytes(len(d)+1), psSolvePayload{deltas: d, norm: rs.norm})
+			}
+		})
+		w.RunPhase(func(p int) {
+			rs := states[p]
+			changed := false
+			for _, m := range w.Inbox(p) {
+				pl := m.Payload.(psSolvePayload)
+				j := rs.rd.NbrIdx[m.From]
+				rs.applyDeltas(j, pl.deltas)
+				rs.gamma[j] = pl.norm
+				changed = true
+			}
+			if changed {
+				rs.norm = rs.computeNorm()
+			}
+			// No explicit residual update: norm changes from incoming
+			// deltas are never announced. This is the deadlock mechanism.
+		})
+		for p := range states {
+			if states[p].relaxed {
+				relaxedRanks++
+				cumRelax += states[p].rd.M()
+			}
+		}
+		record(res, w, states, step, relaxedRanks, cumRelax)
+		if relaxedRanks == 0 {
+			// Nothing relaxed, so no messages were sent, so no estimate can
+			// ever change: the system is deadlocked (unless converged).
+			if res.Final().ResNorm > 1e-14 {
+				res.Deadlocked = true
+				res.DeadlockStep = step
+			}
+			break
+		}
+		if cfg.Target > 0 && res.Final().ResNorm <= cfg.Target {
+			break
+		}
+	}
+	finish(res, l, w, states)
+	return res
+}

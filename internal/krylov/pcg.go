@@ -1,0 +1,131 @@
+// Package krylov provides a preconditioned conjugate gradient solver, the
+// outer method the paper positions Distributed Southwell inside: "as a
+// competitor to Block Jacobi for preconditioning and multigrid smoothing"
+// (abstract). A preconditioner here is any approximate solve M⁻¹r — e.g. a
+// fixed number of parallel steps of Block Jacobi or Distributed Southwell
+// from a zero initial guess.
+package krylov
+
+import (
+	"fmt"
+
+	"southwell/internal/sparse"
+)
+
+// Preconditioner applies z ≈ A⁻¹ r. Implementations must treat r as
+// read-only and fully overwrite z.
+type Preconditioner interface {
+	Apply(r, z []float64)
+}
+
+// Identity is the unpreconditioned case (plain CG).
+type Identity struct{}
+
+// Apply implements Preconditioner.
+func (Identity) Apply(r, z []float64) { copy(z, r) }
+
+// PrecFunc adapts a function to the Preconditioner interface.
+type PrecFunc func(r, z []float64)
+
+// Apply implements Preconditioner.
+func (f PrecFunc) Apply(r, z []float64) { f(r, z) }
+
+// Options controls the CG iteration.
+type Options struct {
+	// MaxIter caps the iterations (0 = 10·n).
+	MaxIter int
+	// Tol is the relative residual target ‖r‖/‖r⁰‖ (0 = 1e-8).
+	Tol float64
+	// Flexible uses the Polak-Ribière update β = z'(r - r_prev)/(z_prev' r_prev),
+	// which tolerates nonsymmetric or iteration-varying preconditioners
+	// such as k steps of a Southwell method (whose relaxation pattern
+	// depends on the input). Plain CG is the default.
+	Flexible bool
+}
+
+// Result reports the outcome of a CG solve.
+type Result struct {
+	Iterations int
+	Converged  bool
+	// RelResiduals[k] is ‖r‖/‖r⁰‖ after iteration k+1.
+	RelResiduals []float64
+}
+
+// Solve runs (flexible) preconditioned conjugate gradients on the SPD
+// system A x = b, updating x in place. It returns an error only for
+// structural problems (dimension mismatch); failure to converge is
+// reported in the result, since for a preconditioning study a slow
+// preconditioner is data, not an exception.
+func Solve(a *sparse.CSR, b, x []float64, m Preconditioner, opt Options) (Result, error) {
+	n := a.N
+	if len(b) != n || len(x) != n {
+		return Result{}, fmt.Errorf("krylov: dimension mismatch: n=%d len(b)=%d len(x)=%d", n, len(b), len(x))
+	}
+	if m == nil {
+		m = Identity{}
+	}
+	maxIter := opt.MaxIter
+	if maxIter <= 0 {
+		maxIter = 10 * n
+	}
+	tol := opt.Tol
+	if tol <= 0 {
+		tol = 1e-8
+	}
+
+	r := make([]float64, n)
+	a.Residual(b, x, r)
+	r0 := sparse.Norm2(r)
+	res := Result{}
+	if r0 == 0 {
+		res.Converged = true
+		return res, nil
+	}
+
+	z := make([]float64, n)
+	m.Apply(r, z)
+	p := sparse.CopyVec(z)
+	ap := make([]float64, n)
+	rz := sparse.Dot(r, z)
+	var rPrev []float64
+	if opt.Flexible {
+		rPrev = sparse.CopyVec(r)
+	}
+
+	for k := 0; k < maxIter; k++ {
+		a.MulVec(p, ap)
+		pap := sparse.Dot(p, ap)
+		if pap <= 0 {
+			// Loss of positive definiteness (numerically, or a genuinely
+			// indefinite preconditioned operator): stop with what we have.
+			res.Iterations = k
+			return res, nil
+		}
+		alpha := rz / pap
+		sparse.Axpy(alpha, p, x)
+		sparse.Axpy(-alpha, ap, r)
+		rel := sparse.Norm2(r) / r0
+		res.RelResiduals = append(res.RelResiduals, rel)
+		res.Iterations = k + 1
+		if rel <= tol {
+			res.Converged = true
+			return res, nil
+		}
+		m.Apply(r, z)
+		var beta float64
+		if opt.Flexible {
+			num := sparse.Dot(z, r) - sparse.Dot(z, rPrev)
+			beta = num / rz
+			copy(rPrev, r)
+			rz = sparse.Dot(r, z)
+		} else {
+			rzNew := sparse.Dot(r, z)
+			beta = rzNew / rz
+			rz = rzNew
+		}
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return res, nil
+}

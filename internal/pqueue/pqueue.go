@@ -1,0 +1,94 @@
+// Package pqueue implements an indexed binary max-heap over float64
+// priorities with O(log n) update-key. It drives the Sequential Southwell
+// method, which repeatedly needs the equation with the largest residual
+// magnitude while neighbor relaxations change a handful of priorities per
+// step.
+package pqueue
+
+// IndexedMaxHeap is a max-heap over the fixed key set {0, ..., n-1}.
+// Every key is always present; priorities change via Update.
+type IndexedMaxHeap struct {
+	prio []float64 // prio[key]
+	heap []int     // heap[i] = key
+	pos  []int     // pos[key] = index in heap
+}
+
+// New builds a heap over len(prio) keys with the given initial priorities
+// in O(n). The priority slice is copied.
+func New(prio []float64) *IndexedMaxHeap {
+	n := len(prio)
+	h := &IndexedMaxHeap{
+		prio: append([]float64(nil), prio...),
+		heap: make([]int, n),
+		pos:  make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		h.heap[i] = i
+		h.pos[i] = i
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+	return h
+}
+
+// Len returns the number of keys.
+func (h *IndexedMaxHeap) Len() int { return len(h.heap) }
+
+// Max returns the key with the largest priority and that priority.
+// It panics on an empty heap.
+func (h *IndexedMaxHeap) Max() (key int, prio float64) {
+	k := h.heap[0]
+	return k, h.prio[k]
+}
+
+// Prio returns the current priority of key.
+func (h *IndexedMaxHeap) Prio(key int) float64 { return h.prio[key] }
+
+// Update sets the priority of key and restores the heap invariant.
+func (h *IndexedMaxHeap) Update(key int, prio float64) {
+	old := h.prio[key]
+	h.prio[key] = prio
+	switch {
+	case prio > old:
+		h.up(h.pos[key])
+	case prio < old:
+		h.down(h.pos[key])
+	}
+}
+
+func (h *IndexedMaxHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.prio[h.heap[i]] <= h.prio[h.heap[parent]] {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *IndexedMaxHeap) down(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && h.prio[h.heap[l]] > h.prio[h.heap[largest]] {
+			largest = l
+		}
+		if r < n && h.prio[h.heap[r]] > h.prio[h.heap[largest]] {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h.swap(i, largest)
+		i = largest
+	}
+}
+
+func (h *IndexedMaxHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.pos[h.heap[i]] = i
+	h.pos[h.heap[j]] = j
+}

@@ -1,0 +1,89 @@
+package pqueue
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxAfterNew(t *testing.T) {
+	h := New([]float64{3, 9, 1, 7})
+	if k, p := h.Max(); k != 1 || p != 9 {
+		t.Errorf("Max = (%d, %g), want (1, 9)", k, p)
+	}
+	if h.Len() != 4 {
+		t.Errorf("Len = %d", h.Len())
+	}
+	if h.Prio(3) != 7 {
+		t.Errorf("Prio(3) = %g", h.Prio(3))
+	}
+}
+
+func TestUpdateRaisesAndLowers(t *testing.T) {
+	h := New([]float64{5, 4, 3, 2, 1})
+	h.Update(4, 100)
+	if k, _ := h.Max(); k != 4 {
+		t.Errorf("after raise, Max key = %d, want 4", k)
+	}
+	h.Update(4, -1)
+	if k, _ := h.Max(); k != 0 {
+		t.Errorf("after lower, Max key = %d, want 0", k)
+	}
+	h.Update(2, 5) // tie with key 0: either is a valid max
+	if k, p := h.Max(); p != 5 || (k != 0 && k != 2) {
+		t.Errorf("after tie, Max = (%d, %g)", k, p)
+	}
+}
+
+func TestSouthwellUsagePattern(t *testing.T) {
+	// Repeatedly take the max, set it to zero, bump two random others —
+	// the access pattern Sequential Southwell produces.
+	rng := rand.New(rand.NewSource(1))
+	n := 50
+	prio := make([]float64, n)
+	for i := range prio {
+		prio[i] = rng.Float64()
+	}
+	h := New(prio)
+	for step := 0; step < 1000; step++ {
+		k, p := h.Max()
+		for i := 0; i < n; i++ {
+			if h.Prio(i) > p+1e-15 {
+				t.Fatalf("step %d: key %d has prio %g > max %g", step, i, h.Prio(i), p)
+			}
+		}
+		h.Update(k, 0)
+		h.Update(rng.Intn(n), rng.Float64())
+		h.Update(rng.Intn(n), rng.Float64())
+	}
+}
+
+// Property: Max always agrees with a linear scan under arbitrary updates.
+func TestQuickMaxMatchesScan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		prio := make([]float64, n)
+		for i := range prio {
+			prio[i] = rng.NormFloat64()
+		}
+		h := New(prio)
+		for step := 0; step < 100; step++ {
+			h.Update(rng.Intn(n), rng.NormFloat64())
+			_, hp := h.Max()
+			best := h.Prio(0)
+			for i := 1; i < n; i++ {
+				if h.Prio(i) > best {
+					best = h.Prio(i)
+				}
+			}
+			if hp != best {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

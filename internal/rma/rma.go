@@ -1,0 +1,234 @@
+// Package rma simulates the one-sided (remote memory access) communication
+// model the paper's implementation uses (MPI-3 MPI_Win_allocate / MPI_Put
+// with post-start-complete-wait access epochs) inside a single process.
+//
+// The paper's algorithms are phase-synchronous within a parallel step:
+// every rank writes to its neighbors' windows, then waits for its own
+// window ("Wait for neighbors to finish writing to Wp") before reading.
+// The simulator reproduces exactly this epoch structure: a phase runs every
+// rank's local code, during which ranks Put messages toward target windows;
+// at the end of the phase all puts are delivered atomically, becoming
+// readable in the next phase. Delivery order is deterministic (sorted by
+// origin rank), and the sequential and concurrent engines produce
+// bit-identical results.
+//
+// The runtime also does the bookkeeping the paper reports: messages and
+// bytes per rank split by tag (solve updates vs explicit residual updates,
+// Table 3), and a BSP α-β-γ cost model that converts per-phase maxima of
+// (compute + message costs) into simulated wall-clock seconds (DESIGN.md
+// §2 explains why this reproduces the paper's wall-clock *shape*).
+package rma
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Tag classifies a message for the communication-cost breakdown.
+type Tag int
+
+const (
+	// TagSolve marks messages carrying relaxation updates after a local
+	// subdomain solve ("Solve comm" in Table 3).
+	TagSolve Tag = iota
+	// TagResidual marks explicit residual-norm update messages
+	// ("Res comm" in Table 3).
+	TagResidual
+	numTags
+)
+
+// CostModel is the α-β-γ BSP time model: a message costs Alpha + Beta*bytes
+// to inject, and local computation costs Gamma per flop. The simulated time
+// of a phase is the maximum over ranks; phases accumulate.
+type CostModel struct {
+	Alpha float64 // seconds per message
+	Beta  float64 // seconds per byte
+	Gamma float64 // seconds per flop
+}
+
+// DefaultCostModel is loosely calibrated to a Cori-class machine: ~1.5 µs
+// message latency, ~0.1 ns/byte (≈10 GB/s injection), ~0.25 ns/flop for
+// sparse kernels (~4 Gflop/s sustained).
+func DefaultCostModel() CostModel {
+	return CostModel{Alpha: 1.5e-6, Beta: 1e-10, Gamma: 2.5e-10}
+}
+
+// Message is one Put landed in a window.
+type Message struct {
+	From    int
+	Tag     Tag
+	Bytes   int
+	Payload any
+}
+
+// World is a set of P simulated ranks with windows and counters.
+type World struct {
+	P        int
+	Model    CostModel
+	Parallel bool // run phases with one goroutine per rank
+
+	inbox  [][]Message // readable this phase
+	staged [][]Message // staged[from]: puts issued this phase
+	flops  []float64   // per-rank compute charged this phase
+	msgs   []int64     // per-rank messages sent this phase
+	bytes  []int64     // per-rank bytes sent this phase
+
+	simTime    float64
+	totalMsgs  [numTags]int64
+	totalBytes [numTags]int64
+	phases     int64
+}
+
+// NewWorld creates a world of p ranks with the given cost model.
+func NewWorld(p int, model CostModel) *World {
+	w := &World{
+		P:      p,
+		Model:  model,
+		inbox:  make([][]Message, p),
+		staged: make([][]Message, p),
+		flops:  make([]float64, p),
+		msgs:   make([]int64, p),
+		bytes:  make([]int64, p),
+	}
+	return w
+}
+
+// Put stages a one-sided write of payload into the window of rank `to`. It
+// becomes visible in to's inbox at the start of the next phase. Put must be
+// called from rank `from`'s phase function.
+func (w *World) Put(from, to int, tag Tag, bytes int, payload any) {
+	if to < 0 || to >= w.P {
+		panic(fmt.Sprintf("rma: Put target %d out of range (P=%d)", to, w.P))
+	}
+	w.staged[from] = append(w.staged[from], Message{From: from, Tag: tag, Bytes: bytes, Payload: payload})
+	// Target is stored in-band to keep staging per-origin (race-free in the
+	// concurrent engine); deliver() routes by this field.
+	w.staged[from][len(w.staged[from])-1].Payload = routed{to: to, payload: payload}
+	w.msgs[from]++
+	w.bytes[from] += int64(bytes)
+}
+
+type routed struct {
+	to      int
+	payload any
+}
+
+// Charge records flops of local computation for rank in the current phase.
+func (w *World) Charge(rank int, flops float64) {
+	w.flops[rank] += flops
+}
+
+// Inbox returns the messages delivered to rank at the last phase boundary.
+// The slice is valid until the next phase boundary.
+func (w *World) Inbox(rank int) []Message {
+	return w.inbox[rank]
+}
+
+// RunPhase executes one access epoch: f runs for every rank (sequentially,
+// or concurrently when w.Parallel is set), then all staged puts are
+// delivered and the phase's simulated time is accounted.
+func (w *World) RunPhase(f func(rank int)) {
+	if w.Parallel {
+		var wg sync.WaitGroup
+		wg.Add(w.P)
+		for p := 0; p < w.P; p++ {
+			go func(p int) {
+				defer wg.Done()
+				f(p)
+			}(p)
+		}
+		wg.Wait()
+	} else {
+		for p := 0; p < w.P; p++ {
+			f(p)
+		}
+	}
+	w.deliver()
+}
+
+// deliver moves staged puts into inboxes (deterministically ordered by
+// origin rank) and accumulates the phase's simulated time. The time is the
+// BSP h-relation cost: per rank, compute plus message costs counting both
+// injections and landings (a window write occupies the target's NIC even
+// though the target CPU is not involved), maximized over ranks.
+func (w *World) deliver() {
+	recvMsgs := make([]int64, w.P)
+	recvBytes := make([]int64, w.P)
+	for p := range w.inbox {
+		w.inbox[p] = w.inbox[p][:0]
+	}
+	for from := 0; from < w.P; from++ {
+		for _, m := range w.staged[from] {
+			r := m.Payload.(routed)
+			m.Payload = r.payload
+			w.inbox[r.to] = append(w.inbox[r.to], m)
+			recvMsgs[r.to]++
+			recvBytes[r.to] += int64(m.Bytes)
+			w.totalMsgs[m.Tag]++
+			w.totalBytes[m.Tag] += int64(m.Bytes)
+		}
+		w.staged[from] = w.staged[from][:0]
+	}
+
+	maxCost := 0.0
+	for p := 0; p < w.P; p++ {
+		h := float64(w.msgs[p] + recvMsgs[p])
+		hb := float64(w.bytes[p] + recvBytes[p])
+		cost := w.Model.Gamma*w.flops[p] + w.Model.Alpha*h + w.Model.Beta*hb
+		if cost > maxCost {
+			maxCost = cost
+		}
+		w.flops[p] = 0
+		w.msgs[p] = 0
+		w.bytes[p] = 0
+	}
+	w.simTime += maxCost
+	w.phases++
+	// Origin order is already deterministic because we iterate senders in
+	// rank order; keep a stable sort as a guard for future multi-window use.
+	for p := range w.inbox {
+		sort.SliceStable(w.inbox[p], func(i, j int) bool {
+			return w.inbox[p][i].From < w.inbox[p][j].From
+		})
+	}
+}
+
+// Stats is the cumulative communication record of a world.
+type Stats struct {
+	SimTime    float64
+	Phases     int64
+	SolveMsgs  int64
+	ResMsgs    int64
+	SolveBytes int64
+	ResBytes   int64
+}
+
+// TotalMsgs returns all messages sent so far.
+func (s Stats) TotalMsgs() int64 { return s.SolveMsgs + s.ResMsgs }
+
+// CommCost is the paper's §4.3 metric: total messages divided by ranks.
+func (s Stats) CommCost(p int) float64 { return float64(s.TotalMsgs()) / float64(p) }
+
+// Stats returns a snapshot of the counters.
+func (w *World) Stats() Stats {
+	return Stats{
+		SimTime:    w.simTime,
+		Phases:     w.phases,
+		SolveMsgs:  w.totalMsgs[TagSolve],
+		ResMsgs:    w.totalMsgs[TagResidual],
+		SolveBytes: w.totalBytes[TagSolve],
+		ResBytes:   w.totalBytes[TagResidual],
+	}
+}
+
+// ResetStats zeroes the cumulative counters (e.g. between a setup phase and
+// a measured solve).
+func (w *World) ResetStats() {
+	w.simTime = 0
+	w.phases = 0
+	for t := Tag(0); t < numTags; t++ {
+		w.totalMsgs[t] = 0
+		w.totalBytes[t] = 0
+	}
+}

@@ -1,0 +1,129 @@
+package solvers
+
+import (
+	"math"
+
+	"southwell/internal/sparse"
+)
+
+// This file implements the two Southwell-descended adaptive relaxation
+// schemes the paper discusses as related work (§5, after Rüde): the
+// sequential adaptive relaxation method with an active set, and the
+// simultaneous adaptive relaxation method with a residual threshold. They
+// serve as baselines for the ablation experiments and as the adaptive
+// multigrid smoothers of that line of work.
+
+// AdaptiveOptions configures the adaptive relaxation methods.
+type AdaptiveOptions struct {
+	Options
+	// Theta is the residual threshold: simultaneous adaptive relaxation
+	// relaxes every row with |r_i| > Theta; sequential adaptive relaxation
+	// discards updates smaller than Theta and removes the row from the
+	// active set. Zero means 1e-2 of the initial residual-infinity norm.
+	Theta float64
+}
+
+func (o AdaptiveOptions) theta(r []float64) float64 {
+	if o.Theta > 0 {
+		return o.Theta
+	}
+	return 1e-2 * sparse.NormInf(r)
+}
+
+// SequentialAdaptiveRelaxation implements Rüde's sequential adaptive
+// relaxation: an active set of rows is processed one at a time; relaxing a
+// row whose update is significant (|r_i/a_ii| > Theta) re-activates its
+// neighbors, while insignificant rows are dropped from the set. The method
+// stops when the active set empties or the budget is exhausted. Every
+// relaxation counts as one parallel step (the method is sequential).
+func SequentialAdaptiveRelaxation(a *sparse.CSR, b, x []float64, opt AdaptiveOptions) *Trace {
+	tr := &Trace{Method: "Seq Adaptive"}
+	n := a.N
+	s := newState(a, b, x)
+	theta := opt.theta(s.r)
+
+	inSet := make([]bool, n)
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		inSet[i] = true
+		queue = append(queue, i)
+	}
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		if !inSet[i] {
+			continue
+		}
+		inSet[i] = false
+		cols, vals := a.Row(i)
+		var aii float64
+		for k, j := range cols {
+			if j == i {
+				aii = vals[k]
+				break
+			}
+		}
+		if math.Abs(s.r[i]/aii) <= theta {
+			// Insignificant update: discard, leave the row inactive.
+			continue
+		}
+		s.relaxRow(i)
+		for _, j := range cols {
+			if j != i && !inSet[j] {
+				inSet[j] = true
+				queue = append(queue, j)
+			}
+		}
+		rec := StepRecord{Step: len(tr.Steps) + 1, Relaxations: 1, CumRelax: s.relax, ResNorm: s.norm()}
+		tr.Steps = append(tr.Steps, rec)
+		if opt.done(rec, n) {
+			return tr
+		}
+	}
+	return tr
+}
+
+// SimultaneousAdaptiveRelaxation implements Rüde's simultaneous adaptive
+// relaxation: each parallel step relaxes every row with |r_i| > Theta at
+// once (Jacobi-style, from the step-start residuals). Like Jacobi, it is
+// not guaranteed to converge for all SPD matrices — the paper contrasts
+// this with Multicolor GS and Parallel Southwell, which relax independent
+// sets (§5); TestSimultaneousAdaptiveCanDiverge demonstrates the failure.
+func SimultaneousAdaptiveRelaxation(a *sparse.CSR, b, x []float64, opt AdaptiveOptions) *Trace {
+	tr := &Trace{Method: "Sim Adaptive"}
+	n := a.N
+	s := newState(a, b, x)
+	theta := opt.theta(s.r)
+	diag := a.Diag()
+	dx := make([]float64, n)
+	adx := make([]float64, n)
+	for {
+		count := 0
+		for i := 0; i < n; i++ {
+			if math.Abs(s.r[i]) > theta {
+				dx[i] = s.r[i] / diag[i]
+				x[i] += dx[i]
+				count++
+			} else {
+				dx[i] = 0
+			}
+		}
+		if count == 0 {
+			// Threshold reached everywhere: the method has converged to
+			// its Theta-dependent accuracy.
+			return tr
+		}
+		a.MulVec(dx, adx)
+		s.normSq = 0
+		for i := 0; i < n; i++ {
+			s.r[i] -= adx[i]
+			s.normSq += s.r[i] * s.r[i]
+		}
+		s.relax += count
+		rec := StepRecord{Step: len(tr.Steps) + 1, Relaxations: count, CumRelax: s.relax, ResNorm: s.norm()}
+		tr.Steps = append(tr.Steps, rec)
+		if opt.done(rec, n) {
+			return tr
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package solvers
+
+import (
+	"math"
+	"testing"
+
+	"southwell/internal/problem"
+	"southwell/internal/sparse"
+)
+
+func TestSequentialAdaptiveConverges(t *testing.T) {
+	a := problem.Poisson2D(20, 20)
+	b, x := testSystem(t, a, 21)
+	tr := SequentialAdaptiveRelaxation(a, b, x, AdaptiveOptions{
+		Options: Options{MaxRelax: 50 * a.N},
+		Theta:   1e-4,
+	})
+	if tr.Final().ResNorm > 0.05 {
+		t.Errorf("final norm %g", tr.Final().ResNorm)
+	}
+	if got := exactNorm(a, b, x); math.Abs(got-tr.Final().ResNorm) > 1e-8 {
+		t.Errorf("trace norm %g != exact %g", tr.Final().ResNorm, got)
+	}
+}
+
+func TestSequentialAdaptiveStopsWhenSetEmpties(t *testing.T) {
+	a := problem.Poisson2D(10, 10)
+	b, x := testSystem(t, a, 22)
+	// Large threshold: almost everything is insignificant, so the active
+	// set drains quickly and the method stops well short of the budget.
+	tr := SequentialAdaptiveRelaxation(a, b, x, AdaptiveOptions{
+		Options: Options{MaxRelax: 1000 * a.N},
+		Theta:   10,
+	})
+	if tr.TotalRelaxations() >= 1000*a.N {
+		t.Error("did not stop on empty active set")
+	}
+}
+
+func TestSimultaneousAdaptiveConvergesOnMMatrix(t *testing.T) {
+	a := problem.Poisson2D(20, 20)
+	b, x := testSystem(t, a, 23)
+	tr := SimultaneousAdaptiveRelaxation(a, b, x, AdaptiveOptions{
+		Options: Options{MaxRelax: 100 * a.N},
+		Theta:   1e-4,
+	})
+	if tr.Final().ResNorm > 0.05 {
+		t.Errorf("final norm %g", tr.Final().ResNorm)
+	}
+	if got := exactNorm(a, b, x); math.Abs(got-tr.Final().ResNorm) > 1e-8 {
+		t.Errorf("trace norm mismatch: %g vs %g", tr.Final().ResNorm, got)
+	}
+}
+
+// The paper's §5 point: threshold methods, like Jacobi, are not guaranteed
+// to converge for all SPD matrices, unlike Multicolor GS and Parallel
+// Southwell which relax independent sets. The scaled biharmonic operator
+// (spectral radius > 2) separates them.
+func TestSimultaneousAdaptiveCanDiverge(t *testing.T) {
+	build := func() (*sparse.CSR, []float64, []float64) {
+		a := problem.Biharmonic2D(20, 20)
+		if _, err := sparse.Scale(a); err != nil {
+			t.Fatal(err)
+		}
+		b, x := problem.RandomBSystem(a, 24)
+		return a, b, x
+	}
+	a, b, x := build()
+	sim := SimultaneousAdaptiveRelaxation(a, b, x, AdaptiveOptions{
+		Options: Options{MaxRelax: 60 * a.N},
+		Theta:   1e-12,
+	})
+	if sim.Final().ResNorm < 1 {
+		t.Skipf("simultaneous adaptive did not diverge here (%g); spectrum too tame", sim.Final().ResNorm)
+	}
+	// Parallel Southwell stays convergent on the same system.
+	a2, b2, x2 := build()
+	ps := ParallelSouthwell(a2, b2, x2, Options{MaxRelax: 10 * a2.N})
+	if ps.Final().ResNorm >= 1 {
+		t.Errorf("Parallel Southwell diverged too: %g", ps.Final().ResNorm)
+	}
+}
+
+func TestAdaptiveDefaultTheta(t *testing.T) {
+	r := []float64{0.5, -2, 0.25}
+	opt := AdaptiveOptions{}
+	if got := opt.theta(r); math.Abs(got-0.02) > 1e-15 {
+		t.Errorf("default theta = %g, want 0.02", got)
+	}
+	opt.Theta = 0.5
+	if opt.theta(r) != 0.5 {
+		t.Error("explicit theta ignored")
+	}
+}

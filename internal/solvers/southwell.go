@@ -1,0 +1,104 @@
+package solvers
+
+import (
+	"math"
+
+	"southwell/internal/pqueue"
+	"southwell/internal/sparse"
+)
+
+// SequentialSouthwell runs the (Gauss-)Southwell method: each step relaxes
+// the single row with the largest |r_i| (§2.2). The max is tracked with an
+// indexed heap so each relaxation costs O(deg · log n). Every relaxation is
+// its own parallel step.
+func SequentialSouthwell(a *sparse.CSR, b, x []float64, opt Options) *Trace {
+	tr := &Trace{Method: "SW"}
+	n := a.N
+	s := newState(a, b, x)
+	prio := make([]float64, n)
+	for i, v := range s.r {
+		prio[i] = math.Abs(v)
+	}
+	h := pqueue.New(prio)
+	for {
+		i, p := h.Max()
+		if p == 0 {
+			// Residual exactly zero: nothing to relax.
+			return tr
+		}
+		s.relaxRow(i)
+		cols, _ := a.Row(i)
+		for _, j := range cols {
+			h.Update(j, math.Abs(s.r[j]))
+		}
+		rec := StepRecord{Step: len(tr.Steps) + 1, Relaxations: 1, CumRelax: s.relax, ResNorm: s.norm()}
+		tr.Steps = append(tr.Steps, rec)
+		if opt.done(rec, n) {
+			return tr
+		}
+	}
+}
+
+// parallelSouthwellCriterion reports whether row i should relax given its
+// own magnitude ri and the magnitudes held for its neighborhood: ri must be
+// maximal, with exact ties broken toward the lower index so that the
+// relaxed set stays independent and at least one row always qualifies.
+func winsOver(ri float64, i int, rj float64, j int) bool {
+	if ri != rj {
+		return ri > rj
+	}
+	return i < j
+}
+
+// ParallelSouthwell runs the scalar Parallel Southwell method (§2.3): one
+// parallel step relaxes every row whose residual magnitude is maximal
+// within its neighborhood (the Parallel Southwell criterion, evaluated with
+// exact residuals).
+func ParallelSouthwell(a *sparse.CSR, b, x []float64, opt Options) *Trace {
+	tr := &Trace{Method: "Par SW"}
+	n := a.N
+	s := newState(a, b, x)
+	selected := make([]int, 0, n)
+	for {
+		selected = selected[:0]
+		for i := 0; i < n; i++ {
+			ri := math.Abs(s.r[i])
+			if ri == 0 {
+				continue
+			}
+			wins := true
+			cols, _ := a.Row(i)
+			for _, j := range cols {
+				if j == i {
+					continue
+				}
+				if !winsOver(ri, i, math.Abs(s.r[j]), j) {
+					wins = false
+					break
+				}
+			}
+			if wins {
+				selected = append(selected, i)
+			}
+		}
+		if len(selected) == 0 {
+			// All residuals zero (or isolated ties resolved away): done.
+			return tr
+		}
+		// The selected set is independent, so relaxing sequentially equals
+		// relaxing simultaneously.
+		for _, i := range selected {
+			s.relaxRow(i)
+		}
+		rec := StepRecord{
+			Step:        len(tr.Steps) + 1,
+			Relaxations: len(selected),
+			CumRelax:    s.relax,
+			ResNorm:     s.norm(),
+		}
+		tr.Steps = append(tr.Steps, rec)
+		if opt.done(rec, n) {
+			return tr
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// COO is a coordinate-format builder for sparse matrices. Entries may be
+// added in any order; duplicates are summed when converting to CSR.
+type COO struct {
+	N    int
+	Rows []int
+	Cols []int
+	Vals []float64
+}
+
+// NewCOO returns an empty builder for an n-by-n matrix with capacity hint cap.
+func NewCOO(n, capHint int) *COO {
+	return &COO{
+		N:    n,
+		Rows: make([]int, 0, capHint),
+		Cols: make([]int, 0, capHint),
+		Vals: make([]float64, 0, capHint),
+	}
+}
+
+// Add appends entry (i, j) += v. It panics on out-of-range indices, which
+// always indicates a bug in a generator rather than recoverable input.
+func (c *COO) Add(i, j int, v float64) {
+	if i < 0 || i >= c.N || j < 0 || j >= c.N {
+		panic(fmt.Sprintf("sparse: COO.Add index (%d,%d) out of range for n=%d", i, j, c.N))
+	}
+	c.Rows = append(c.Rows, i)
+	c.Cols = append(c.Cols, j)
+	c.Vals = append(c.Vals, v)
+}
+
+// AddSym appends (i,j) += v and, when i != j, (j,i) += v.
+func (c *COO) AddSym(i, j int, v float64) {
+	c.Add(i, j, v)
+	if i != j {
+		c.Add(j, i, v)
+	}
+}
+
+// NNZ returns the number of (possibly duplicate) entries added so far.
+func (c *COO) NNZ() int { return len(c.Rows) }
+
+// ToCSR converts the builder to CSR, summing duplicates and dropping exact
+// zeros that result from cancellation of duplicates (entries added as zero
+// are kept only if their sum is nonzero).
+func (c *COO) ToCSR() *CSR {
+	n := c.N
+	perm := make([]int, len(c.Rows))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(x, y int) bool {
+		px, py := perm[x], perm[y]
+		if c.Rows[px] != c.Rows[py] {
+			return c.Rows[px] < c.Rows[py]
+		}
+		return c.Cols[px] < c.Cols[py]
+	})
+
+	a := &CSR{
+		N:      n,
+		RowPtr: make([]int, n+1),
+		Col:    make([]int, 0, len(perm)),
+		Val:    make([]float64, 0, len(perm)),
+	}
+	lastRow, lastCol := -1, -1
+	for _, p := range perm {
+		i, j, v := c.Rows[p], c.Cols[p], c.Vals[p]
+		if i == lastRow && j == lastCol {
+			a.Val[len(a.Val)-1] += v
+			continue
+		}
+		a.Col = append(a.Col, j)
+		a.Val = append(a.Val, v)
+		lastRow, lastCol = i, j
+		a.RowPtr[i+1]++
+	}
+	// Drop entries that summed to exactly zero, keeping the diagonal so
+	// iterative methods can always divide by a stored a_ii.
+	w := 0
+	k := 0
+	for i := 0; i < n; i++ {
+		cnt := a.RowPtr[i+1]
+		kept := 0
+		for c2 := 0; c2 < cnt; c2++ {
+			if a.Val[k] != 0 || a.Col[k] == i {
+				a.Col[w] = a.Col[k]
+				a.Val[w] = a.Val[k]
+				w++
+				kept++
+			}
+			k++
+		}
+		a.RowPtr[i+1] = kept
+	}
+	a.Col = a.Col[:w]
+	a.Val = a.Val[:w]
+	for i := 0; i < n; i++ {
+		a.RowPtr[i+1] += a.RowPtr[i]
+	}
+	return a
+}

@@ -1,0 +1,99 @@
+package sparse
+
+// Mul returns the sparse product C = A*B using Gustavson's row-by-row
+// algorithm. Entries that cancel to exactly zero are kept out of the result
+// unless they are diagonal (matching COO.ToCSR policy).
+//
+// It is used to build higher-order operators (e.g. the discrete biharmonic
+// L*L used by the synthetic structural matrices in internal/problem) and
+// Galerkin-style products in tests.
+func Mul(a, b *CSR) *CSR {
+	if a.N != b.N {
+		panic("sparse: Mul dimension mismatch")
+	}
+	n := a.N
+	c := &CSR{N: n, RowPtr: make([]int, n+1)}
+
+	acc := make([]float64, n) // dense accumulator for one row
+	marker := make([]int, n)  // marker[j] == i+1 when acc[j] is live for row i
+	idx := make([]int, 0, n)  // live column indices for one row
+
+	for i := 0; i < n; i++ {
+		idx = idx[:0]
+		alo, ahi := a.RowPtr[i], a.RowPtr[i+1]
+		for ka := alo; ka < ahi; ka++ {
+			k := a.Col[ka]
+			av := a.Val[ka]
+			blo, bhi := b.RowPtr[k], b.RowPtr[k+1]
+			for kb := blo; kb < bhi; kb++ {
+				j := b.Col[kb]
+				if marker[j] != i+1 {
+					marker[j] = i + 1
+					acc[j] = 0
+					idx = append(idx, j)
+				}
+				acc[j] += av * b.Val[kb]
+			}
+		}
+		// Gather in sorted column order.
+		insertionSortInts(idx)
+		for _, j := range idx {
+			if acc[j] == 0 && j != i {
+				continue
+			}
+			c.Col = append(c.Col, j)
+			c.Val = append(c.Val, acc[j])
+		}
+		c.RowPtr[i+1] = len(c.Col)
+	}
+	return c
+}
+
+// Add returns alpha*A + beta*B for same-shaped square matrices.
+func Add(a, b *CSR, alpha, beta float64) *CSR {
+	if a.N != b.N {
+		panic("sparse: Add dimension mismatch")
+	}
+	n := a.N
+	c := &CSR{N: n, RowPtr: make([]int, n+1)}
+	for i := 0; i < n; i++ {
+		ka, kaEnd := a.RowPtr[i], a.RowPtr[i+1]
+		kb, kbEnd := b.RowPtr[i], b.RowPtr[i+1]
+		for ka < kaEnd || kb < kbEnd {
+			var j int
+			var v float64
+			switch {
+			case kb >= kbEnd || (ka < kaEnd && a.Col[ka] < b.Col[kb]):
+				j, v = a.Col[ka], alpha*a.Val[ka]
+				ka++
+			case ka >= kaEnd || b.Col[kb] < a.Col[ka]:
+				j, v = b.Col[kb], beta*b.Val[kb]
+				kb++
+			default:
+				j, v = a.Col[ka], alpha*a.Val[ka]+beta*b.Val[kb]
+				ka++
+				kb++
+			}
+			if v != 0 || j == i {
+				c.Col = append(c.Col, j)
+				c.Val = append(c.Val, v)
+			}
+		}
+		c.RowPtr[i+1] = len(c.Col)
+	}
+	return c
+}
+
+// insertionSortInts sorts small integer slices in place; rows of sparse
+// products are short, so this beats sort.Ints on the hot path.
+func insertionSortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}

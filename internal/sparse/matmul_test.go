@@ -1,0 +1,107 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func denseOf(a *CSR) [][]float64 {
+	d := make([][]float64, a.N)
+	for i := range d {
+		d[i] = make([]float64, a.N)
+		cols, vals := a.Row(i)
+		for k, j := range cols {
+			d[i][j] = vals[k]
+		}
+	}
+	return d
+}
+
+func TestMulAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randomSym(20, 0.3, rng)
+	b := randomSym(20, 0.3, rng)
+	c := Mul(a, b)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("product invalid: %v", err)
+	}
+	da, db := denseOf(a), denseOf(b)
+	for i := 0; i < a.N; i++ {
+		for j := 0; j < a.N; j++ {
+			want := 0.0
+			for k := 0; k < a.N; k++ {
+				want += da[i][k] * db[k][j]
+			}
+			if math.Abs(c.At(i, j)-want) > 1e-10 {
+				t.Fatalf("C[%d,%d] = %g, want %g", i, j, c.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestAddAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randomSym(25, 0.2, rng)
+	b := randomSym(25, 0.25, rng)
+	c := Add(a, b, 2.5, -1.5)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("sum invalid: %v", err)
+	}
+	for i := 0; i < a.N; i++ {
+		for j := 0; j < a.N; j++ {
+			want := 2.5*a.At(i, j) - 1.5*b.At(i, j)
+			if math.Abs(c.At(i, j)-want) > 1e-12 {
+				t.Fatalf("C[%d,%d] = %g, want %g", i, j, c.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestMulTridiagSquare(t *testing.T) {
+	// (tridiag)^2 is the pentadiagonal 1D biharmonic [1 -4 6 -4 1]
+	// (with boundary rows clipped).
+	a := tridiag(8)
+	c := Mul(a, a)
+	if got := c.At(4, 4); got != 6 {
+		t.Errorf("center = %g, want 6", got)
+	}
+	if got := c.At(4, 3); got != -4 {
+		t.Errorf("off1 = %g, want -4", got)
+	}
+	if got := c.At(4, 6); got != 1 {
+		t.Errorf("off2 = %g, want 1", got)
+	}
+	if !c.IsSymmetric(1e-14) {
+		t.Error("square of symmetric matrix must be symmetric")
+	}
+}
+
+// Property: (A*x computed via Mul(A,A)) equals A*(A*x).
+func TestQuickMulAssociatesWithMulVec(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(25)
+		a := randomSym(n, 0.3, rng)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y1 := make([]float64, n)
+		tmp := make([]float64, n)
+		a.MulVec(x, tmp)
+		a.MulVec(tmp, y1)
+		y2 := make([]float64, n)
+		Mul(a, a).MulVec(x, y2)
+		for i := range y1 {
+			if math.Abs(y1[i]-y2[i]) > 1e-9*(1+math.Abs(y1[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
