@@ -1,0 +1,31 @@
+# Tier-1 verification for the southwell repo. `make verify` is the gate:
+# build + vet + full test suite + race-mode runtime/method tests.
+
+GO ?= go
+
+.PHONY: build test vet race verify bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The engine-equivalence and pool tests under the race detector: together
+# they prove the worker-pool engine is race-free and bit-identical to the
+# sequential engine (DESIGN.md §6).
+race:
+	$(GO) test -race ./internal/rma/... ./internal/dmem/...
+
+verify: build vet test race
+
+# Micro-benchmarks for the phase engine and message path (see BENCH_rma.json
+# for recorded baselines).
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/rma/ ./internal/dmem/ ./internal/bench/
+
+clean:
+	$(GO) clean ./...

@@ -10,11 +10,16 @@
 //
 // Flags:
 //
-//	-ranks N   simulated process count for suite experiments (default 256)
-//	-steps N   parallel-step budget override (default: per-experiment)
-//	-quick     shrunken configuration (smoke test)
-//	-seed S    initial guess / partition seed (default 1)
-//	-out DIR   write one file per experiment into DIR instead of stdout
+//	-ranks N       simulated process count for suite experiments (default 256)
+//	-steps N       parallel-step budget override (default: per-experiment)
+//	-quick         shrunken configuration (smoke test)
+//	-seed S        initial guess / partition seed (default 1)
+//	-out DIR       write one file per experiment into DIR instead of stdout
+//	-par N         run up to N suite runs concurrently (default GOMAXPROCS;
+//	               output is identical for every value)
+//	-goroutines    run each simulated world on the rma worker-pool engine
+//	-cpuprofile F  write a pprof CPU profile to F
+//	-memprofile F  write a pprof heap profile to F on exit
 package main
 
 import (
@@ -23,6 +28,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"southwell/internal/bench"
 )
@@ -50,13 +57,42 @@ func main() {
 	quick := flag.Bool("quick", false, "shrunken smoke-test configuration")
 	seed := flag.Int64("seed", 1, "initial-guess and partition seed")
 	outDir := flag.String("out", "", "write one file per experiment into this directory")
+	par := flag.Int("par", runtime.GOMAXPROCS(0), "max concurrent suite runs (1 = sequential)")
+	goroutines := flag.Bool("goroutines", false, "run simulated worlds on the rma worker-pool engine")
+	cpuProfile := flag.String("cpuprofile", "", "write pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write pprof heap profile to this file on exit")
 	flag.Parse()
 
-	cfg := bench.Config{Ranks: *ranks, Steps: *steps, Quick: *quick, Seed: *seed}
-	args := flag.Args()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	cfg := bench.Config{Ranks: *ranks, Steps: *steps, Quick: *quick, Seed: *seed,
+		Par: *par, Goroutines: *goroutines}
+	err := run(cfg, flag.Args(), *outDir)
+
+	// Flush profiles before exiting, even on experiment failure.
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	writeMemProfile(*memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg bench.Config, args []string, outDir string) error {
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: benchtables [flags] fig2|fig5|fig6|fig7|fig8|fig9|table2|table3|table4|deadlock|ablation|all")
-		os.Exit(2)
+		return fmt.Errorf("usage: benchtables [flags] fig2|fig5|fig6|fig7|fig8|fig9|table2|table3|table4|deadlock|ablation|all")
 	}
 
 	want := map[string]bool{}
@@ -75,8 +111,7 @@ func main() {
 	}
 	for a := range want {
 		if !known[a] {
-			fmt.Fprintf(os.Stderr, "benchtables: unknown experiment %q\n", a)
-			os.Exit(2)
+			return fmt.Errorf("unknown experiment %q", a)
 		}
 	}
 
@@ -86,33 +121,47 @@ func main() {
 		}
 		var w io.Writer = os.Stdout
 		var f *os.File
-		if *outDir != "" {
-			if err := os.MkdirAll(*outDir, 0o755); err != nil {
-				fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
-				os.Exit(1)
+		if outDir != "" {
+			if err := os.MkdirAll(outDir, 0o755); err != nil {
+				return err
 			}
 			var err error
-			f, err = os.Create(filepath.Join(*outDir, e.name+".txt"))
+			f, err = os.Create(filepath.Join(outDir, e.name+".txt"))
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
-				os.Exit(1)
+				return err
 			}
 			w = f
 		} else {
 			fmt.Printf("==== %s ====\n", e.name)
 		}
 		if err := e.run(w, cfg); err != nil {
-			fmt.Fprintf(os.Stderr, "benchtables: %s: %v\n", e.name, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %v", e.name, err)
 		}
 		if f != nil {
 			if err := f.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
-				os.Exit(1)
+				return err
 			}
-			fmt.Printf("wrote %s\n", filepath.Join(*outDir, e.name+".txt"))
+			fmt.Printf("wrote %s\n", filepath.Join(outDir, e.name+".txt"))
 		} else {
 			fmt.Println()
 		}
+	}
+	return nil
+}
+
+// writeMemProfile dumps a heap profile after a final GC, pprof-compatible.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
 	}
 }

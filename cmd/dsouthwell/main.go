@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"southwell/internal/core"
 	"southwell/internal/dmem"
@@ -34,10 +36,40 @@ func main() {
 		locSolve = flag.String("loc_solver", "gs", "local subdomain solver: gs (one Gauss-Seidel sweep) or direct (dense LU, the artifact's PARDISO option)")
 		xZeros   = flag.Bool("x_zeros", false, "x = 0 and random b (default: random x, b = 0)")
 		seed     = flag.Int64("seed", 1, "random seed")
-		parallel = flag.Bool("goroutines", false, "run simulated ranks on goroutines")
+		parallel = flag.Bool("goroutines", false, "alias for -par (kept for artifact compatibility)")
+		par      = flag.Bool("par", false, "run simulated ranks on the persistent worker-pool engine")
 		grid     = flag.Int("grid", 100, "grid dimension for the default Laplace problem")
+		cpuProf  = flag.String("cpuprofile", "", "write pprof CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write pprof heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsouthwell: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dsouthwell: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dsouthwell: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "dsouthwell: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range problem.Suite() {
@@ -84,7 +116,7 @@ func main() {
 
 	res, err := core.SolveDistributed(a, b, x, core.DistOptions{
 		Method: method, Ranks: *ranks, Steps: *sweepMax, Target: *target,
-		PartSeed: *seed, Parallel: *parallel, Local: local,
+		PartSeed: *seed, Parallel: *parallel || *par, Local: local,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dsouthwell: %v\n", err)

@@ -3,6 +3,13 @@
 // synthetic suite and simulated runtime, printing rows/series in the same
 // layout the paper reports. See DESIGN.md §4 for the experiment index and
 // EXPERIMENTS.md for recorded paper-vs-measured comparisons.
+//
+// The suite drivers support two axes of real parallelism on top of the
+// simulated one: Config.Par fans independent (matrix, method) runs out over
+// bounded workers, and Config.Goroutines runs each simulated world on the
+// rma worker-pool engine. Both are bit-identical to the sequential paths
+// (runs are cached by key and each world is deterministic), so table output
+// does not depend on either setting.
 package bench
 
 import (
@@ -33,6 +40,14 @@ type Config struct {
 	Quick bool
 	// Seed drives initial guesses and partitions.
 	Seed int64
+	// Par bounds how many suite runs execute concurrently: the table and
+	// figure drivers fan their (matrix, method, ranks) runs out over Par
+	// worker goroutines, each running its own simulated world. 0 or 1 runs
+	// sequentially. Output is identical for every value of Par.
+	Par int
+	// Goroutines runs each simulated world on the rma worker-pool engine
+	// (bit-identical results; see the dmem engine-equivalence tests).
+	Goroutines bool
 }
 
 func (c Config) ranks() int {
@@ -59,6 +74,13 @@ func (c Config) stepsOr(def int) int {
 	return def
 }
 
+func (c Config) par() int {
+	if c.Par > 1 {
+		return c.Par
+	}
+	return 1
+}
+
 // Target is the paper's accuracy target for Tables 2-3 and Figure 8.
 const Target = 0.1
 
@@ -70,7 +92,9 @@ func (c Config) suiteNames() []string {
 	return problem.SuiteNames()
 }
 
-// runKey caches distributed runs shared between tables.
+// runKey caches distributed runs shared between tables. The engine flags
+// (Par, Goroutines) are deliberately not part of the key: they do not
+// change results.
 type runKey struct {
 	name   string
 	method core.DistMethod
@@ -88,18 +112,27 @@ var (
 	pCache   = map[string][]int{}
 )
 
-// matrixFor builds (and caches) a scaled suite matrix.
+// matrixFor builds (and caches) a scaled suite matrix. The build runs
+// outside the cache lock so concurrent workers on different matrices do
+// not serialize; two workers racing on the same name both build, and the
+// first store wins (the builds are deterministic and identical).
 func matrixFor(name string) (*sparse.CSR, error) {
 	matMu.Lock()
-	defer matMu.Unlock()
 	if a, ok := matCache[name]; ok {
+		matMu.Unlock()
 		return a, nil
 	}
+	matMu.Unlock()
 	e, ok := problem.SuiteByName(name)
 	if !ok {
 		return nil, fmt.Errorf("bench: unknown suite matrix %q", name)
 	}
 	a := e.Build()
+	matMu.Lock()
+	defer matMu.Unlock()
+	if prev, ok := matCache[name]; ok {
+		return prev, nil
+	}
 	matCache[name] = a
 	return a, nil
 }
@@ -107,18 +140,25 @@ func matrixFor(name string) (*sparse.CSR, error) {
 func partitionFor(name string, a *sparse.CSR, ranks int, seed int64) []int {
 	key := fmt.Sprintf("%s/%d/%d", name, ranks, seed)
 	partMu.Lock()
-	defer partMu.Unlock()
 	if p, ok := pCache[key]; ok {
+		partMu.Unlock()
 		return p
 	}
+	partMu.Unlock()
 	p := partition.Partition(a, ranks, partition.Options{Seed: seed})
+	partMu.Lock()
+	defer partMu.Unlock()
+	if prev, ok := pCache[key]; ok {
+		return prev
+	}
 	pCache[key] = p
 	return p
 }
 
-// runSuite runs (with caching) one method on one suite matrix.
-func runSuite(name string, method core.DistMethod, ranks, steps int, seed int64) (*dmem.Result, error) {
-	key := runKey{name, method, ranks, steps, seed}
+// runSuite runs (with caching) one method on one suite matrix, using the
+// config's seed and world engine.
+func runSuite(cfg Config, name string, method core.DistMethod, ranks, steps int) (*dmem.Result, error) {
+	key := runKey{name, method, ranks, steps, cfg.seed()}
 	runMu.Lock()
 	if r, ok := runCache[key]; ok {
 		runMu.Unlock()
@@ -130,18 +170,124 @@ func runSuite(name string, method core.DistMethod, ranks, steps int, seed int64)
 	if err != nil {
 		return nil, err
 	}
-	part := partitionFor(name, a, ranks, seed)
-	b, x := problem.ZeroBSystem(a, seed)
+	part := partitionFor(name, a, ranks, cfg.seed())
+	b, x := problem.ZeroBSystem(a, cfg.seed())
 	res, err := core.SolveDistributed(a, b, x, core.DistOptions{
 		Method: method, Ranks: ranks, Steps: steps, Part: part,
+		Parallel: cfg.Goroutines,
 	})
 	if err != nil {
 		return nil, err
 	}
 	runMu.Lock()
+	defer runMu.Unlock()
+	if prev, ok := runCache[key]; ok {
+		return prev, nil
+	}
 	runCache[key] = res
-	runMu.Unlock()
 	return res, nil
+}
+
+// runJob identifies one suite run for the concurrent driver.
+type runJob struct {
+	name   string
+	method core.DistMethod
+	ranks  int
+	steps  int
+}
+
+// suiteJobs is the cross product names × rankCounts × methods at a fixed
+// step budget, in deterministic order.
+func suiteJobs(names []string, methods []core.DistMethod, rankCounts []int, steps int) []runJob {
+	jobs := make([]runJob, 0, len(names)*len(rankCounts)*len(methods))
+	for _, name := range names {
+		for _, r := range rankCounts {
+			for _, m := range methods {
+				jobs = append(jobs, runJob{name: name, method: m, ranks: r, steps: steps})
+			}
+		}
+	}
+	return jobs
+}
+
+// prefetch executes the given runs with up to cfg.par() concurrent worlds,
+// populating the run cache so the table printers read memoized results in
+// their own (deterministic) order. A no-op when Par <= 1: the printers
+// compute lazily through runSuite exactly as before.
+func prefetch(cfg Config, jobs []runJob) error {
+	par := cfg.par()
+	if par <= 1 || len(jobs) <= 1 {
+		return nil
+	}
+	// Stage 1: distinct (matrix, ranks) builds, so the expensive matrix
+	// generation and partitioning are each done once, in parallel.
+	type prepKey struct {
+		name  string
+		ranks int
+	}
+	var preps []prepKey
+	seen := map[prepKey]bool{}
+	for _, j := range jobs {
+		k := prepKey{j.name, j.ranks}
+		if !seen[k] {
+			seen[k] = true
+			preps = append(preps, k)
+		}
+	}
+	if err := forEachPar(par, len(preps), func(i int) error {
+		a, err := matrixFor(preps[i].name)
+		if err != nil {
+			return err
+		}
+		partitionFor(preps[i].name, a, preps[i].ranks, cfg.seed())
+		return nil
+	}); err != nil {
+		return err
+	}
+	// Stage 2: the runs themselves, one simulated world per worker slot.
+	return forEachPar(par, len(jobs), func(i int) error {
+		_, err := runSuite(cfg, jobs[i].name, jobs[i].method, jobs[i].ranks, jobs[i].steps)
+		return err
+	})
+}
+
+// forEachPar runs fn(i) for i in [0, n) over up to par worker goroutines
+// and returns the lowest-index error, if any.
+func forEachPar(par, n int, fn func(i int) error) error {
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ResetCaches clears memoized matrices and runs (for benchmarks that must

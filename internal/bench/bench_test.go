@@ -83,11 +83,11 @@ func TestRunCacheHit(t *testing.T) {
 		t.Skip("slow in -short mode")
 	}
 	cfg := quickCfg()
-	r1, err := runSuite("af_5_k101", core.DistSWD, cfg.ranks(), 10, cfg.seed())
+	r1, err := runSuite(cfg, "af_5_k101", core.DistSWD, cfg.ranks(), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := runSuite("af_5_k101", core.DistSWD, cfg.ranks(), 10, cfg.seed())
+	r2, err := runSuite(cfg, "af_5_k101", core.DistSWD, cfg.ranks(), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestRunCacheHit(t *testing.T) {
 		t.Error("cache miss for identical run")
 	}
 	ResetCaches()
-	r3, err := runSuite("af_5_k101", core.DistSWD, cfg.ranks(), 10, cfg.seed())
+	r3, err := runSuite(cfg, "af_5_k101", core.DistSWD, cfg.ranks(), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,8 +105,37 @@ func TestRunCacheHit(t *testing.T) {
 }
 
 func TestRunSuiteUnknownMatrix(t *testing.T) {
-	if _, err := runSuite("nope", core.DistSWD, 4, 5, 1); err == nil {
+	if _, err := runSuite(Config{Seed: 1}, "nope", core.DistSWD, 4, 5); err == nil {
 		t.Error("unknown matrix accepted")
+	}
+}
+
+// TestParDriverDeterministic checks that the bounded-concurrency driver and
+// the worker-pool world engine leave table output bit-identical to the
+// sequential path.
+func TestParDriverDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite runs are slow in -short mode")
+	}
+	render := func(cfg Config) string {
+		ResetCaches()
+		defer ResetCaches()
+		var buf bytes.Buffer
+		if err := Table4(&buf, cfg); err != nil {
+			t.Fatal(err)
+		}
+		if err := Table3(&buf, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	seq := render(quickCfg())
+	parCfg := quickCfg()
+	parCfg.Par = 4
+	parCfg.Goroutines = true
+	par := render(parCfg)
+	if seq != par {
+		t.Errorf("parallel driver changed table output:\n--- seq ---\n%s\n--- par ---\n%s", seq, par)
 	}
 }
 

@@ -25,11 +25,14 @@ func fig7Matrices(quick bool) []string {
 func Fig7(w io.Writer, cfg Config) error {
 	ranks := cfg.ranks()
 	steps := cfg.stepsOr(50)
+	if err := prefetch(cfg, suiteJobs(fig7Matrices(cfg.Quick), tableMethods, []int{ranks}, steps)); err != nil {
+		return err
+	}
 	fprintf(w, "# Figure 7: residual norm vs time/comm/step, %d ranks, %d steps\n", ranks, steps)
 	fprintf(w, "# matrix method step sim_time comm_cost residual_norm\n")
 	for _, name := range fig7Matrices(cfg.Quick) {
 		for _, m := range tableMethods {
-			res, err := runSuite(name, m, ranks, steps, cfg.seed())
+			res, err := runSuite(cfg, name, m, ranks, steps)
 			if err != nil {
 				return err
 			}
@@ -79,13 +82,16 @@ func fig89Matrices(quick bool) []string {
 // that never reached the target (usually Block Jacobi divergence).
 func Fig8(w io.Writer, cfg Config) error {
 	steps := cfg.stepsOr(60)
+	if err := prefetch(cfg, suiteJobs(fig89Matrices(cfg.Quick), tableMethods, scalingRanks(cfg.Quick), steps)); err != nil {
+		return err
+	}
 	fprintf(w, "# Figure 8: sim wall-clock time to ||r||=%.1f vs ranks (budget %d steps)\n", Target, steps)
 	fprintf(w, "%-12s %6s | %10s %10s %10s\n", "matrix", "ranks", "BJ", "PS", "DS")
 	for _, name := range fig89Matrices(cfg.Quick) {
 		for _, p := range scalingRanks(cfg.Quick) {
 			var cells [3]string
 			for i, m := range tableMethods {
-				res, err := runSuite(name, m, p, steps, cfg.seed())
+				res, err := runSuite(cfg, name, m, p, steps)
 				if err != nil {
 					return err
 				}
@@ -108,13 +114,16 @@ func Fig8(w io.Writer, cfg Config) error {
 // with more ranks while Parallel and Distributed Southwell degrade mildly.
 func Fig9(w io.Writer, cfg Config) error {
 	steps := cfg.stepsOr(50)
+	if err := prefetch(cfg, suiteJobs(fig89Matrices(cfg.Quick), tableMethods, scalingRanks(cfg.Quick), steps)); err != nil {
+		return err
+	}
 	fprintf(w, "# Figure 9: residual norm after %d steps vs ranks\n", steps)
 	fprintf(w, "%-12s %6s | %12s %12s %12s\n", "matrix", "ranks", "BJ", "PS", "DS")
 	for _, name := range fig89Matrices(cfg.Quick) {
 		for _, p := range scalingRanks(cfg.Quick) {
 			var vals [3]float64
 			for i, m := range tableMethods {
-				res, err := runSuite(name, m, p, steps, cfg.seed())
+				res, err := runSuite(cfg, name, m, p, steps)
 				if err != nil {
 					return err
 				}
@@ -132,10 +141,13 @@ func Fig9(w io.Writer, cfg Config) error {
 // point.
 func Deadlock(w io.Writer, cfg Config) error {
 	ranks := cfg.ranks()
+	if err := prefetch(cfg, suiteJobs(cfg.suiteNames(), []core.DistMethod{core.Piggyback2016}, []int{ranks}, 500)); err != nil {
+		return err
+	}
 	fprintf(w, "# Deadlock study: 2016 piggyback variant vs Distributed Southwell, %d ranks\n", ranks)
 	fprintf(w, "%-12s | %9s %12s | %12s\n", "matrix", "dl_step", "dl_norm", "DS norm@same")
 	for _, name := range cfg.suiteNames() {
-		pb, err := runSuite(name, core.Piggyback2016, ranks, 500, cfg.seed())
+		pb, err := runSuite(cfg, name, core.Piggyback2016, ranks, 500)
 		if err != nil {
 			return err
 		}
@@ -143,7 +155,7 @@ func Deadlock(w io.Writer, cfg Config) error {
 			fprintf(w, "%-12s | %9s %12.5g | %12s\n", name, "none", pb.Final().ResNorm, "-")
 			continue
 		}
-		ds, err := runSuite(name, core.DistSWD, ranks, pb.DeadlockStep, cfg.seed())
+		ds, err := runSuite(cfg, name, core.DistSWD, ranks, pb.DeadlockStep)
 		if err != nil {
 			return err
 		}

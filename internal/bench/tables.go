@@ -60,6 +60,9 @@ func atTarget(res *dmem.Result) toTargetStats {
 func Table2(w io.Writer, cfg Config) error {
 	ranks := cfg.ranks()
 	steps := cfg.stepsOr(60)
+	if err := prefetch(cfg, suiteJobs(cfg.suiteNames(), tableMethods, []int{ranks}, steps)); err != nil {
+		return err
+	}
 	fprintf(w, "# Table 2: reducing ||r||2 to %.1f with %d simulated ranks, budget %d steps\n", Target, ranks, steps)
 	fprintf(w, "%-12s | %27s | %30s | %23s | %20s | %20s\n",
 		"Matrix", "Wall-clock time (sim s)", "Communication cost", "Parallel steps", "Relaxations/n", "Active processes")
@@ -68,7 +71,7 @@ func Table2(w io.Writer, cfg Config) error {
 	for _, name := range cfg.suiteNames() {
 		var st [3]toTargetStats
 		for i, m := range tableMethods {
-			res, err := runSuite(name, m, ranks, steps, cfg.seed())
+			res, err := runSuite(cfg, name, m, ranks, steps)
 			if err != nil {
 				return err
 			}
@@ -93,6 +96,9 @@ func Table2(w io.Writer, cfg Config) error {
 func Table3(w io.Writer, cfg Config) error {
 	ranks := cfg.ranks()
 	steps := cfg.stepsOr(60)
+	if err := prefetch(cfg, suiteJobs(cfg.suiteNames(), []core.DistMethod{core.ParallelSWD, core.DistSWD}, []int{ranks}, steps)); err != nil {
+		return err
+	}
 	fprintf(w, "# Table 3: communication breakdown at ||r||2 = %.1f, %d ranks\n", Target, ranks)
 	fprintf(w, "%-12s | %21s | %21s\n", "Matrix", "Solve comm", "Res comm")
 	fprintf(w, "%-12s | %10s %10s | %10s %10s\n", "", "PS", "DS", "PS", "DS")
@@ -103,7 +109,7 @@ func Table3(w io.Writer, cfg Config) error {
 		}
 		var sp [2]split
 		for i, m := range []core.DistMethod{core.ParallelSWD, core.DistSWD} {
-			r, err := runSuite(name, m, ranks, steps, cfg.seed())
+			r, err := runSuite(cfg, name, m, ranks, steps)
 			if err != nil {
 				return err
 			}
@@ -128,13 +134,16 @@ func Table3(w io.Writer, cfg Config) error {
 func Table4(w io.Writer, cfg Config) error {
 	ranks := cfg.ranks()
 	steps := cfg.stepsOr(50)
+	if err := prefetch(cfg, suiteJobs(cfg.suiteNames(), tableMethods, []int{ranks}, steps)); err != nil {
+		return err
+	}
 	fprintf(w, "# Table 4: per-parallel-step means over %d steps, %d ranks\n", steps, ranks)
 	fprintf(w, "%-12s | %29s | %27s\n", "Matrix", "Wall-clock time (sim s)", "Communication cost")
 	fprintf(w, "%-12s | %9s %9s %9s | %8s %8s %8s\n", "", "BJ", "PS", "DS", "BJ", "PS", "DS")
 	for _, name := range cfg.suiteNames() {
 		var times, comms [3]float64
 		for i, m := range tableMethods {
-			res, err := runSuite(name, m, ranks, steps, cfg.seed())
+			res, err := runSuite(cfg, name, m, ranks, steps)
 			if err != nil {
 				return err
 			}

@@ -128,9 +128,11 @@ type DistOptions struct {
 	Target float64
 	// PartSeed seeds the multilevel partitioner.
 	PartSeed int64
-	// Model overrides the α-β-γ cost model (zero = default).
-	Model rma.CostModel
-	// Parallel runs simulated ranks on goroutines (identical results).
+	// Model overrides the α-β-γ cost model (nil = default). An explicit
+	// &rma.CostModel{} is honored as genuinely free communication.
+	Model *rma.CostModel
+	// Parallel runs simulated ranks on the persistent worker-pool engine
+	// (bit-identical results to the sequential engine).
 	Parallel bool
 	// Part, when non-nil, is a caller-provided partition (length n, values
 	// in [0, Ranks)); otherwise the multilevel partitioner is used.

@@ -1,0 +1,74 @@
+package dmem
+
+import (
+	"fmt"
+	"testing"
+
+	"southwell/internal/partition"
+	"southwell/internal/problem"
+	"southwell/internal/sparse"
+)
+
+// benchStates builds the per-rank state for a scaled Poisson problem.
+func benchStates(b *testing.B, n, ranks int) (*Layout, []*rankState) {
+	b.Helper()
+	a := problem.Poisson2D(n, n)
+	if _, err := sparse.Scale(a); err != nil {
+		b.Fatal(err)
+	}
+	part := partition.Partition(a, ranks, partition.Options{Seed: 1})
+	l, err := NewLayout(a, part, ranks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bb, x := problem.ZeroBSystem(a, 1)
+	return l, newRankStates(l, bb, x)
+}
+
+// BenchmarkRelaxSweep measures the local Gauss-Seidel relaxation kernel plus
+// the message-staging path (boundary residual and delta collection) that
+// runs on every relaxation — the per-rank inner loop of every method.
+func BenchmarkRelaxSweep(b *testing.B) {
+	_, states := benchStates(b, 64, 16)
+	rs := states[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs.zeroExtDelta()
+		rs.relaxSweep()
+		for j := range rs.rd.Nbrs {
+			d := rs.deltasFor(j)
+			bnd := rs.boundaryResiduals(j)
+			_, _ = d, bnd
+		}
+	}
+}
+
+// BenchmarkStepDS measures one full Distributed Southwell parallel step
+// (three phases over the runtime) at several rank counts.
+func BenchmarkStepDS(b *testing.B) {
+	for _, ranks := range []int{64, 256} {
+		for _, eng := range []struct {
+			name     string
+			parallel bool
+		}{{"seq", false}, {"pool", true}} {
+			b.Run(fmt.Sprintf("P=%d/%s", ranks, eng.name), func(b *testing.B) {
+				a := problem.Poisson2D(100, 100)
+				if _, err := sparse.Scale(a); err != nil {
+					b.Fatal(err)
+				}
+				part := partition.Partition(a, ranks, partition.Options{Seed: 1})
+				l, err := NewLayout(a, part, ranks)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bb, x := problem.ZeroBSystem(a, 1)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					DistributedSouthwell(l, bb, x, Config{Steps: 10, Parallel: eng.parallel})
+				}
+			})
+		}
+	}
+}

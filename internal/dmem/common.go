@@ -28,20 +28,23 @@ type Config struct {
 	// Target, when positive, stops the run early once the global residual
 	// norm falls to Target or below (checked at step boundaries).
 	Target float64
-	// Model is the α-β-γ cost model; zero value means rma.DefaultCostModel.
-	Model rma.CostModel
-	// Parallel runs ranks on goroutines instead of sequentially; results
-	// are identical (see rma engine equivalence).
+	// Model is the α-β-γ cost model; nil means rma.DefaultCostModel. An
+	// explicit &rma.CostModel{} is honored as genuinely free communication
+	// (every message and flop costs nothing in simulated time).
+	Model *rma.CostModel
+	// Parallel runs ranks on the rma worker-pool engine instead of
+	// sequentially; results are bit-identical (see the engine-equivalence
+	// tests).
 	Parallel bool
 	// Local selects the subdomain solver (default LocalGS).
 	Local LocalSolver
 }
 
 func (c Config) model() rma.CostModel {
-	if c.Model == (rma.CostModel{}) {
+	if c.Model == nil {
 		return rma.DefaultCostModel()
 	}
-	return c.Model
+	return *c.Model
 }
 
 func (c Config) steps() int {
@@ -88,24 +91,10 @@ func (r *Result) Final() StepStats { return r.History[len(r.History)-1] }
 
 // StepsToNorm returns the (fractionally interpolated) parallel step at
 // which the residual first reached target, interpolating linearly on
-// log10(‖r‖) between recorded steps as the paper does for Table 2.
+// log10(‖r‖) between recorded steps as the paper does for Table 2. It is
+// InterpAtNorm with the step number as the interpolated quantity.
 func (r *Result) StepsToNorm(target float64) (float64, bool) {
-	lt := math.Log10(target)
-	for i := 1; i < len(r.History); i++ {
-		if r.History[i].ResNorm > target {
-			continue
-		}
-		prev := r.History[i-1]
-		cur := r.History[i]
-		if prev.ResNorm <= target || cur.ResNorm <= 0 {
-			return float64(cur.Step), true
-		}
-		l0 := math.Log10(prev.ResNorm)
-		l1 := math.Log10(cur.ResNorm)
-		f := (l0 - lt) / (l0 - l1)
-		return float64(prev.Step) + f*float64(cur.Step-prev.Step), true
-	}
-	return 0, false
+	return r.InterpAtNorm(target, func(h StepStats) float64 { return float64(h.Step) })
 }
 
 // InterpAtNorm linearly interpolates any cumulative quantity (selected by
@@ -150,6 +139,16 @@ type rankState struct {
 
 	extDelta []float64 // scratch, per ext row
 	relaxed  bool      // relaxed in the current step
+
+	// Persistent per-neighbor send buffers: message payloads point into
+	// these, so the steady-state message path allocates nothing. A buffer
+	// written in one phase is read by the receiver in the next phase and
+	// not reused before the phase after that (solve sends refill only on
+	// the next step's relax phase; explicit residual sends have their own
+	// buffer), so sender reuse never races with receiver reads.
+	sendDeltas [][]float64 // per neighbor: deltasFor output, len(BndExt[j])
+	sendBnd    [][]float64 // per neighbor: boundaryResiduals output, len(MyBnd[j])
+	resBnd     [][]float64 // per neighbor: explicit-update boundary residuals
 
 	// direct, when non-nil, is the dense factorization of the local block
 	// used by LocalDirect; dscratch is its solve buffer.
@@ -220,6 +219,14 @@ func newRankStates(l *Layout, b, x []float64) []*rankState {
 			sentTo:     make([]bool, rd.Degree()),
 			sentBnd:    make([][]float64, rd.Degree()),
 			extDelta:   make([]float64, len(rd.ExtGlob)),
+			sendDeltas: make([][]float64, rd.Degree()),
+			sendBnd:    make([][]float64, rd.Degree()),
+			resBnd:     make([][]float64, rd.Degree()),
+		}
+		for j := range rd.Nbrs {
+			rs.sendDeltas[j] = make([]float64, len(rd.BndExt[j]))
+			rs.sendBnd[j] = make([]float64, len(rd.MyBnd[j]))
+			rs.resBnd[j] = make([]float64, len(rd.MyBnd[j]))
 		}
 		for li, g := range rd.Glob {
 			rs.x[li] = x[g]
@@ -282,22 +289,33 @@ func (rs *rankState) zeroExtDelta() {
 }
 
 // boundaryResiduals collects the residual values of this rank's boundary
-// rows toward neighbor j (freshly allocated: the slice crosses the
-// simulated network).
+// rows toward neighbor j into the persistent per-neighbor send buffer (the
+// slice crosses the simulated network by reference and is only rewritten
+// on this rank's next relax phase, after the receiver has read it).
 func (rs *rankState) boundaryResiduals(j int) []float64 {
-	rows := rs.rd.MyBnd[j]
-	out := make([]float64, len(rows))
-	for k, li := range rows {
+	out := rs.sendBnd[j]
+	for k, li := range rs.rd.MyBnd[j] {
 		out[k] = rs.r[li]
 	}
 	return out
 }
 
-// deltasFor collects extDelta values for neighbor j's boundary slots.
+// resBoundaryResiduals is boundaryResiduals into the separate buffer used
+// by explicit residual updates, which are sent one phase after the solve
+// message: the solve buffer may still be in flight to the same neighbor.
+func (rs *rankState) resBoundaryResiduals(j int) []float64 {
+	out := rs.resBnd[j]
+	for k, li := range rs.rd.MyBnd[j] {
+		out[k] = rs.r[li]
+	}
+	return out
+}
+
+// deltasFor collects extDelta values for neighbor j's boundary slots into
+// the persistent per-neighbor send buffer.
 func (rs *rankState) deltasFor(j int) []float64 {
-	slots := rs.rd.BndExt[j]
-	out := make([]float64, len(slots))
-	for k, e := range slots {
+	out := rs.sendDeltas[j]
+	for k, e := range rs.rd.BndExt[j] {
 		out[k] = rs.extDelta[e]
 	}
 	return out

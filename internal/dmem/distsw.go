@@ -53,10 +53,21 @@ func DistributedSouthwellOpt(l *Layout, b, x []float64, cfg Config, opts DistSWO
 func distributedSouthwell(l *Layout, b, x []float64, cfg Config, opts DistSWOptions) *Result {
 	w := rma.NewWorld(l.P, cfg.model())
 	w.Parallel = cfg.Parallel
+	defer w.Close()
 	states := newRankStates(l, b, x)
 	configureLocal(states, cfg)
 	res := &Result{Method: "Distributed Southwell", P: l.P, N: l.A.N}
 	record(res, w, states, 0, 0, 0)
+
+	// Persistent payloads (pointers cross the network; see blockjacobi.go).
+	// Explicit updates get their own per-neighbor structs: they are sent one
+	// phase after the solve messages, whose buffers are still in flight.
+	solvePl := make([][]dsSolvePayload, l.P)
+	resPl := make([][]dsResPayload, l.P)
+	for p, rs := range states {
+		solvePl[p] = make([]dsSolvePayload, rs.rd.Degree())
+		resPl[p] = make([]dsResPayload, rs.rd.Degree())
+	}
 
 	cumRelax := 0
 	for step := 1; step <= cfg.steps(); step++ {
@@ -95,11 +106,13 @@ func distributedSouthwell(l *Layout, b, x []float64, cfg Config, opts DistSWOpti
 				w.Charge(p, 2*float64(len(rs.rd.BndExt[j])))
 				rs.gammaTilde[j] = rs.norm
 				rs.sentTo[j] = true
-				d := rs.deltasFor(j)
-				bnd := rs.boundaryResiduals(j)
-				rs.sentBnd[j] = bnd
-				w.Put(p, q, rma.TagSolve, msgBytes(len(d)+len(bnd)+2),
-					dsSolvePayload{deltas: d, bnd: bnd, norm: rs.norm, estRecv: rs.gamma[j]})
+				pl := &solvePl[p][j]
+				pl.deltas = rs.deltasFor(j)
+				pl.bnd = rs.boundaryResiduals(j)
+				pl.norm = rs.norm
+				pl.estRecv = rs.gamma[j]
+				rs.sentBnd[j] = pl.bnd
+				w.Put(p, q, rma.TagSolve, msgBytes(len(pl.deltas)+len(pl.bnd)+2), pl)
 			}
 		})
 		// Phase 2: absorb writes; detect deadlock risk; write explicit
@@ -108,7 +121,7 @@ func distributedSouthwell(l *Layout, b, x []float64, cfg Config, opts DistSWOpti
 			rs := states[p]
 			changed := false
 			for _, m := range w.Inbox(p) {
-				pl := m.Payload.(dsSolvePayload)
+				pl := m.Payload.(*dsSolvePayload)
 				j := rs.rd.NbrIdx[m.From]
 				rs.applyDeltas(j, pl.deltas)
 				if rs.sentTo[j] {
@@ -162,9 +175,11 @@ func distributedSouthwell(l *Layout, b, x []float64, cfg Config, opts DistSWOpti
 				if rs.gammaTilde[j] > rs.norm*(1+opts.UpdateSlack) {
 					rs.gammaTilde[j] = rs.norm
 					rs.sentTo[j] = true
-					bnd := rs.boundaryResiduals(j)
-					w.Put(p, q, rma.TagResidual, msgBytes(len(bnd)+2),
-						dsResPayload{bnd: bnd, norm: rs.norm, estRecv: rs.gamma[j]})
+					pl := &resPl[p][j]
+					pl.bnd = rs.resBoundaryResiduals(j)
+					pl.norm = rs.norm
+					pl.estRecv = rs.gamma[j]
+					w.Put(p, q, rma.TagResidual, msgBytes(len(pl.bnd)+2), pl)
 				}
 			}
 		})
@@ -172,7 +187,7 @@ func distributedSouthwell(l *Layout, b, x []float64, cfg Config, opts DistSWOpti
 		w.RunPhase(func(p int) {
 			rs := states[p]
 			for _, m := range w.Inbox(p) {
-				pl := m.Payload.(dsResPayload)
+				pl := m.Payload.(*dsResPayload)
 				j := rs.rd.NbrIdx[m.From]
 				rs.overwriteGhost(j, pl.bnd)
 				rs.gamma[j] = pl.norm

@@ -348,8 +348,28 @@ func TestConfigDefaults(t *testing.T) {
 	if c.model() != rma.DefaultCostModel() {
 		t.Error("default model not applied")
 	}
-	c2 := Config{Steps: 7, Model: rma.CostModel{Alpha: 1}}
+	c2 := Config{Steps: 7, Model: &rma.CostModel{Alpha: 1}}
 	if c2.steps() != 7 || c2.model().Alpha != 1 {
 		t.Error("explicit config ignored")
+	}
+	// An explicit all-zero model means genuinely free communication, not
+	// "use the default" — the sentinel bug the pointer representation fixes.
+	if free := (Config{Model: &rma.CostModel{}}); free.model() != (rma.CostModel{}) {
+		t.Error("explicit zero model replaced by default")
+	}
+}
+
+// TestExplicitZeroModelIsFree: a run under an all-zero cost model
+// accumulates zero simulated time (messages and flops are costless), which
+// the old `Model == CostModel{}` sentinel silently made impossible.
+func TestExplicitZeroModelIsFree(t *testing.T) {
+	a := problem.Poisson2D(12, 12)
+	l, b, x := buildCase(t, a, 4, 1)
+	res := BlockJacobi(l, b, x, Config{Steps: 5, Model: &rma.CostModel{}})
+	if res.Stats.SimTime != 0 {
+		t.Errorf("free model accumulated sim time %g", res.Stats.SimTime)
+	}
+	if res.Stats.TotalMsgs() == 0 {
+		t.Error("free model should still count messages")
 	}
 }

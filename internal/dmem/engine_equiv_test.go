@@ -1,0 +1,52 @@
+package dmem
+
+import (
+	"testing"
+
+	"southwell/internal/problem"
+)
+
+// TestEngineEquivalenceOnSuite is the DESIGN.md §6 ablation promoted to a
+// permanent invariant: the persistent worker-pool engine must produce
+// bit-identical StepStats histories (residual norms, message counts split
+// by tag, simulated time) to the sequential engine, for every method, on
+// real suite matrices. Run under -race via `make race` — the equivalence
+// plus the race detector together prove the pool introduces neither
+// nondeterminism nor data races.
+func TestEngineEquivalenceOnSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite runs are slow in -short mode")
+	}
+	names := []string{"Hook_1498", "msdoor", "af_5_k101"}
+	const ranks, steps = 64, 12
+	for _, name := range names {
+		e, ok := problem.SuiteByName(name)
+		if !ok {
+			t.Fatalf("unknown suite matrix %q", name)
+		}
+		for mname, run := range methods() {
+			t.Run(name+"/"+mname, func(t *testing.T) {
+				l, b, x := buildCase(t, e.Gen(), ranks, 1)
+				seq := run(l, b, x, Config{Steps: steps})
+				l2, b2, x2 := buildCase(t, e.Gen(), ranks, 1)
+				par := run(l2, b2, x2, Config{Steps: steps, Parallel: true})
+				if len(seq.History) != len(par.History) {
+					t.Fatalf("history lengths differ: %d vs %d", len(seq.History), len(par.History))
+				}
+				for i := range seq.History {
+					if seq.History[i] != par.History[i] {
+						t.Fatalf("step %d differs:\nseq %+v\npool %+v", i, seq.History[i], par.History[i])
+					}
+				}
+				if seq.Stats != par.Stats {
+					t.Fatalf("cumulative stats differ:\nseq %+v\npool %+v", seq.Stats, par.Stats)
+				}
+				for i := range seq.X {
+					if seq.X[i] != par.X[i] {
+						t.Fatalf("solution differs at row %d: %.17g vs %.17g", i, seq.X[i], par.X[i])
+					}
+				}
+			})
+		}
+	}
+}

@@ -29,10 +29,20 @@ type psResPayload struct {
 func ParallelSouthwell(l *Layout, b, x []float64, cfg Config) *Result {
 	w := rma.NewWorld(l.P, cfg.model())
 	w.Parallel = cfg.Parallel
+	defer w.Close()
 	states := newRankStates(l, b, x)
 	configureLocal(states, cfg)
 	res := &Result{Method: "Parallel Southwell", P: l.P, N: l.A.N}
 	record(res, w, states, 0, 0, 0)
+
+	// Persistent payloads (pointers cross the network; see blockjacobi.go).
+	// The explicit update carries one norm for all neighbors, so a single
+	// struct per rank suffices.
+	solvePl := make([][]psSolvePayload, l.P)
+	resPl := make([]psResPayload, l.P)
+	for p, rs := range states {
+		solvePl[p] = make([]psSolvePayload, rs.rd.Degree())
+	}
 
 	cumRelax := 0
 	for step := 1; step <= cfg.steps(); step++ {
@@ -59,8 +69,10 @@ func ParallelSouthwell(l *Layout, b, x []float64, cfg Config) *Result {
 			rs.lastTold = rs.norm
 			w.Charge(p, flops+2*float64(rs.rd.M()))
 			for j, q := range rs.rd.Nbrs {
-				d := rs.deltasFor(j)
-				w.Put(p, q, rma.TagSolve, msgBytes(len(d)+1), psSolvePayload{deltas: d, norm: rs.norm})
+				pl := &solvePl[p][j]
+				pl.deltas = rs.deltasFor(j)
+				pl.norm = rs.norm
+				w.Put(p, q, rma.TagSolve, msgBytes(len(pl.deltas)+1), pl)
 			}
 		})
 		// Phase 2: absorb writes; announce changed norms.
@@ -68,7 +80,7 @@ func ParallelSouthwell(l *Layout, b, x []float64, cfg Config) *Result {
 			rs := states[p]
 			changed := false
 			for _, m := range w.Inbox(p) {
-				pl := m.Payload.(psSolvePayload)
+				pl := m.Payload.(*psSolvePayload)
 				j := rs.rd.NbrIdx[m.From]
 				rs.applyDeltas(j, pl.deltas)
 				rs.gamma[j] = pl.norm
@@ -80,8 +92,9 @@ func ParallelSouthwell(l *Layout, b, x []float64, cfg Config) *Result {
 			}
 			if rs.norm != rs.lastTold {
 				rs.lastTold = rs.norm
+				resPl[p].norm = rs.norm
 				for _, q := range rs.rd.Nbrs {
-					w.Put(p, q, rma.TagResidual, msgBytes(1), psResPayload{norm: rs.norm})
+					w.Put(p, q, rma.TagResidual, msgBytes(1), &resPl[p])
 				}
 			}
 		})
@@ -89,7 +102,7 @@ func ParallelSouthwell(l *Layout, b, x []float64, cfg Config) *Result {
 		w.RunPhase(func(p int) {
 			rs := states[p]
 			for _, m := range w.Inbox(p) {
-				rs.gamma[rs.rd.NbrIdx[m.From]] = m.Payload.(psResPayload).norm
+				rs.gamma[rs.rd.NbrIdx[m.From]] = m.Payload.(*psResPayload).norm
 			}
 		})
 		for p := range states {

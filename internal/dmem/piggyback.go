@@ -12,10 +12,17 @@ import "southwell/internal/rma"
 func Piggyback2016(l *Layout, b, x []float64, cfg Config) *Result {
 	w := rma.NewWorld(l.P, cfg.model())
 	w.Parallel = cfg.Parallel
+	defer w.Close()
 	states := newRankStates(l, b, x)
 	configureLocal(states, cfg)
 	res := &Result{Method: "Piggyback 2016", P: l.P, N: l.A.N}
 	record(res, w, states, 0, 0, 0)
+
+	// Persistent payloads (pointers cross the network; see blockjacobi.go).
+	solvePl := make([][]psSolvePayload, l.P)
+	for p, rs := range states {
+		solvePl[p] = make([]psSolvePayload, rs.rd.Degree())
+	}
 
 	cumRelax := 0
 	for step := 1; step <= cfg.steps(); step++ {
@@ -39,15 +46,17 @@ func Piggyback2016(l *Layout, b, x []float64, cfg Config) *Result {
 			rs.norm = rs.computeNorm()
 			w.Charge(p, flops+2*float64(rs.rd.M()))
 			for j, q := range rs.rd.Nbrs {
-				d := rs.deltasFor(j)
-				w.Put(p, q, rma.TagSolve, msgBytes(len(d)+1), psSolvePayload{deltas: d, norm: rs.norm})
+				pl := &solvePl[p][j]
+				pl.deltas = rs.deltasFor(j)
+				pl.norm = rs.norm
+				w.Put(p, q, rma.TagSolve, msgBytes(len(pl.deltas)+1), pl)
 			}
 		})
 		w.RunPhase(func(p int) {
 			rs := states[p]
 			changed := false
 			for _, m := range w.Inbox(p) {
-				pl := m.Payload.(psSolvePayload)
+				pl := m.Payload.(*psSolvePayload)
 				j := rs.rd.NbrIdx[m.From]
 				rs.applyDeltas(j, pl.deltas)
 				rs.gamma[j] = pl.norm
