@@ -1,9 +1,10 @@
 # Tier-1 verification for the southwell repo. `make verify` is the gate:
-# build + vet + full test suite + race-mode runtime/method tests.
+# build + vet + full test suite + race-mode runtime/method tests + a chaos
+# smoke run of both binaries.
 
 GO ?= go
 
-.PHONY: build test vet race verify bench clean
+.PHONY: build test vet lint race chaos-smoke verify bench clean
 
 build:
 	$(GO) build ./...
@@ -14,13 +15,26 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The engine-equivalence and pool tests under the race detector: together
-# they prove the worker-pool engine is race-free and bit-identical to the
-# sequential engine (DESIGN.md §6).
+# Static checks beyond vet that need no external tools: formatting drift
+# fails the build (gofmt prints nothing when clean).
+lint: vet
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+
+# The engine-equivalence, chaos-determinism, and pool tests under the race
+# detector: together they prove the worker-pool engine is race-free and
+# bit-identical to the sequential engine, faults included (DESIGN.md §6).
 race:
 	$(GO) test -race ./internal/rma/... ./internal/dmem/...
 
-verify: build vet test race
+# End-to-end fault-injection smoke: both binaries on a small problem with
+# delay faults. Exercises flag validation, the chaos table, and the
+# watchdog verdict path outside the unit tests.
+chaos-smoke: build
+	$(GO) run ./cmd/dsouthwell -grid 40 -n 16 -sweep_max 15 -chaos 0.3 >/dev/null
+	$(GO) run ./cmd/benchtables -quick -ranks 32 -steps 40 -par 4 chaos >/dev/null
+
+verify: build lint test race chaos-smoke
 
 # Micro-benchmarks for the phase engine and message path (see BENCH_rma.json
 # for recorded baselines).

@@ -6,7 +6,7 @@
 //	benchtables [flags] <experiment>...
 //
 // where each experiment is one of: fig2 fig5 fig6 fig7 fig8 fig9 table2
-// table3 table4 deadlock all.
+// table3 table4 deadlock ablation chaos all.
 //
 // Flags:
 //
@@ -18,6 +18,9 @@
 //	-par N         run up to N suite runs concurrently (default GOMAXPROCS;
 //	               output is identical for every value)
 //	-goroutines    run each simulated world on the rma worker-pool engine
+//	-chaos P       inject delay faults: each message delayed 1-3 phases with
+//	               probability P (deterministic per -chaos-seed)
+//	-chaos-seed S  fault-injection seed (default 1)
 //	-cpuprofile F  write a pprof CPU profile to F
 //	-memprofile F  write a pprof heap profile to F on exit
 package main
@@ -32,6 +35,7 @@ import (
 	"runtime/pprof"
 
 	"southwell/internal/bench"
+	"southwell/internal/rma"
 )
 
 var experiments = []struct {
@@ -49,6 +53,25 @@ var experiments = []struct {
 	{"fig9", bench.Fig9},
 	{"deadlock", bench.Deadlock},
 	{"ablation", bench.Ablation},
+	{"chaos", bench.Chaos},
+}
+
+// validate rejects nonsensical flag combinations before any experiment
+// starts, so misuse fails with one line instead of a deep panic.
+func validate(ranks, steps, par int, chaos float64) error {
+	if ranks < 0 {
+		return fmt.Errorf("-ranks %d: must be >= 1 (or 0 for the default)", ranks)
+	}
+	if steps < 0 {
+		return fmt.Errorf("-steps %d: must be >= 1 (or 0 for the per-experiment default)", steps)
+	}
+	if par < 0 {
+		return fmt.Errorf("-par %d: must be >= 1 (or 0 for sequential)", par)
+	}
+	if chaos < 0 || chaos > 1 {
+		return fmt.Errorf("-chaos %g: must be a probability in [0, 1]", chaos)
+	}
+	return nil
 }
 
 func main() {
@@ -59,9 +82,16 @@ func main() {
 	outDir := flag.String("out", "", "write one file per experiment into this directory")
 	par := flag.Int("par", runtime.GOMAXPROCS(0), "max concurrent suite runs (1 = sequential)")
 	goroutines := flag.Bool("goroutines", false, "run simulated worlds on the rma worker-pool engine")
+	chaos := flag.Float64("chaos", 0, "inject delay faults into every run: per-message probability of a 1-3 phase delivery delay (0 = perfect network)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injection seed (chaos runs are bit-reproducible per seed)")
 	cpuProfile := flag.String("cpuprofile", "", "write pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write pprof heap profile to this file on exit")
 	flag.Parse()
+
+	if err := validate(*ranks, *steps, *par, *chaos); err != nil {
+		fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -76,7 +106,10 @@ func main() {
 	}
 
 	cfg := bench.Config{Ranks: *ranks, Steps: *steps, Quick: *quick, Seed: *seed,
-		Par: *par, Goroutines: *goroutines}
+		Par: *par, Goroutines: *goroutines, ChaosSeed: *chaosSeed}
+	if *chaos > 0 {
+		cfg.Faults = rma.DelayPlan(*chaosSeed, *chaos, 3)
+	}
 	err := run(cfg, flag.Args(), *outDir)
 
 	// Flush profiles before exiting, even on experiment failure.
@@ -92,7 +125,7 @@ func main() {
 
 func run(cfg bench.Config, args []string, outDir string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: benchtables [flags] fig2|fig5|fig6|fig7|fig8|fig9|table2|table3|table4|deadlock|ablation|all")
+		return fmt.Errorf("usage: benchtables [flags] fig2|fig5|fig6|fig7|fig8|fig9|table2|table3|table4|deadlock|ablation|chaos|all")
 	}
 
 	want := map[string]bool{}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"southwell/internal/bench"
+)
+
+func TestValidateRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		ranks, steps, par int
+		chaos             float64
+		want              string
+	}{
+		{ranks: -1, want: "-ranks"},
+		{steps: -5, want: "-steps"},
+		{par: -2, want: "-par"},
+		{chaos: -0.5, want: "-chaos"},
+		{chaos: 2, want: "-chaos"},
+	}
+	for _, tc := range cases {
+		err := validate(tc.ranks, tc.steps, tc.par, tc.chaos)
+		if err == nil {
+			t.Errorf("validate(%d,%d,%d,%g): accepted", tc.ranks, tc.steps, tc.par, tc.chaos)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("error %q does not name the flag %q", err, tc.want)
+		}
+		if strings.Contains(err.Error(), "\n") {
+			t.Errorf("error is not one line: %q", err)
+		}
+	}
+}
+
+func TestValidateAcceptsGoodFlags(t *testing.T) {
+	for _, tc := range []struct {
+		ranks, steps, par int
+		chaos             float64
+	}{
+		{},                   // all defaults
+		{256, 120, 8, 0.5},   // typical explicit run
+		{ranks: 1, chaos: 1}, // boundary values
+	} {
+		if err := validate(tc.ranks, tc.steps, tc.par, tc.chaos); err != nil {
+			t.Errorf("validate(%d,%d,%d,%g): %v", tc.ranks, tc.steps, tc.par, tc.chaos, err)
+		}
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	cfg := bench.Config{Quick: true}
+	if err := run(cfg, []string{"fig99"}, ""); err == nil || !strings.Contains(err.Error(), "fig99") {
+		t.Errorf("unknown experiment not rejected by name: %v", err)
+	}
+	if err := run(cfg, nil, ""); err == nil || !strings.Contains(err.Error(), "usage") {
+		t.Errorf("empty experiment list not rejected with usage: %v", err)
+	}
+}

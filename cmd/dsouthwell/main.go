@@ -21,8 +21,54 @@ import (
 	"southwell/internal/core"
 	"southwell/internal/dmem"
 	"southwell/internal/problem"
+	"southwell/internal/rma"
 	"southwell/internal/sparse"
 )
+
+// options are the validated run settings derived from flags.
+type options struct {
+	method core.DistMethod
+	local  dmem.LocalSolver
+	faults *rma.FaultPlan
+}
+
+// validate checks every flag value up front, so misuse fails with a
+// one-line message and exit status 2 instead of a deep panic or a
+// confusing error mid-run.
+func validate(ranks, sweepMax, grid int, solver, locSolver string, target, chaos float64, chaosSeed int64) (options, error) {
+	var o options
+	if ranks <= 0 {
+		return o, fmt.Errorf("-n %d: need at least 1 simulated rank", ranks)
+	}
+	if sweepMax <= 0 {
+		return o, fmt.Errorf("-sweep_max %d: need at least 1 parallel step", sweepMax)
+	}
+	if grid < 2 {
+		return o, fmt.Errorf("-grid %d: need at least 2", grid)
+	}
+	if target < 0 {
+		return o, fmt.Errorf("-target %g: must be >= 0", target)
+	}
+	var err error
+	if o.method, err = core.ParseDistMethod(solver); err != nil {
+		return o, fmt.Errorf("-solver %q: unknown (use sos_sds, ds, ps, bj, or pb16)", solver)
+	}
+	switch locSolver {
+	case "gs":
+		o.local = dmem.LocalGS
+	case "direct", "pardiso":
+		o.local = dmem.LocalDirect
+	default:
+		return o, fmt.Errorf("-loc_solver %q: unknown (use gs, direct, or pardiso)", locSolver)
+	}
+	if chaos < 0 || chaos > 1 {
+		return o, fmt.Errorf("-chaos %g: must be a probability in [0, 1]", chaos)
+	}
+	if chaos > 0 {
+		o.faults = rma.DelayPlan(chaosSeed, chaos, 3)
+	}
+	return o, nil
+}
 
 func main() {
 	var (
@@ -39,10 +85,18 @@ func main() {
 		parallel = flag.Bool("goroutines", false, "alias for -par (kept for artifact compatibility)")
 		par      = flag.Bool("par", false, "run simulated ranks on the persistent worker-pool engine")
 		grid     = flag.Int("grid", 100, "grid dimension for the default Laplace problem")
+		chaos    = flag.Float64("chaos", 0, "inject delay faults: per-message probability of a 1-3 phase delivery delay (0 = perfect network)")
+		chaosSd  = flag.Int64("chaos-seed", 1, "fault-injection seed (chaos runs are bit-reproducible per seed)")
 		cpuProf  = flag.String("cpuprofile", "", "write pprof CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write pprof heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	opts, err := validate(*ranks, *sweepMax, *grid, *solver, *locSolve, *target, *chaos, *chaosSd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsouthwell: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -95,28 +149,16 @@ func main() {
 		b, x = problem.ZeroBSystem(a, *seed)
 	}
 
-	method, err := core.ParseDistMethod(*solver)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "dsouthwell: %v\n", err)
-		os.Exit(1)
-	}
-	var local dmem.LocalSolver
-	switch *locSolve {
-	case "gs":
-		local = dmem.LocalGS
-	case "direct", "pardiso":
-		local = dmem.LocalDirect
-	default:
-		fmt.Fprintf(os.Stderr, "dsouthwell: unknown -loc_solver %q\n", *locSolve)
-		os.Exit(1)
-	}
-
 	fmt.Printf("matrix:    %s (n=%d, nnz=%d)\n", label, a.N, a.NNZ())
-	fmt.Printf("solver:    %s, %d ranks, %d parallel steps\n", method, *ranks, *sweepMax)
+	fmt.Printf("solver:    %s, %d ranks, %d parallel steps\n", opts.method, *ranks, *sweepMax)
+	if opts.faults != nil {
+		fmt.Printf("chaos:     delay prob %g, max 3 phases, seed %d\n", *chaos, *chaosSd)
+	}
 
 	res, err := core.SolveDistributed(a, b, x, core.DistOptions{
-		Method: method, Ranks: *ranks, Steps: *sweepMax, Target: *target,
-		PartSeed: *seed, Parallel: *parallel || *par, Local: local,
+		Method: opts.method, Ranks: *ranks, Steps: *sweepMax, Target: *target,
+		PartSeed: *seed, Parallel: *parallel || *par, Local: opts.local,
+		Faults: opts.faults,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dsouthwell: %v\n", err)
@@ -132,8 +174,12 @@ func main() {
 		res.Stats.SolveMsgs, res.Stats.ResMsgs, res.Stats.TotalMsgs())
 	fmt.Printf("communication cost: %.3f (messages/rank)\n", res.Stats.CommCost(res.P))
 	fmt.Printf("sim wall-clock:     %.6f s (alpha-beta-gamma model)\n", res.Stats.SimTime)
+	if opts.faults != nil {
+		fmt.Printf("faults injected:    %d delayed, %d duplicated, %d reordered, %d paused rank-phases\n",
+			res.Stats.DelayedMsgs, res.Stats.DupMsgs, res.Stats.ReorderedBatches, res.Stats.PausedRankPhases)
+	}
 	if res.Deadlocked {
-		fmt.Printf("DEADLOCKED at step %d (piggyback variant)\n", res.DeadlockStep)
+		fmt.Printf("DEADLOCKED at step %d (stagnation watchdog)\n", res.DeadlockStep)
 	}
 }
 

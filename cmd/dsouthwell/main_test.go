@@ -1,0 +1,89 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"southwell/internal/core"
+	"southwell/internal/dmem"
+)
+
+type flagCase struct {
+	name      string
+	ranks     int
+	sweepMax  int
+	grid      int
+	solver    string
+	locSolver string
+	target    float64
+	chaos     float64
+}
+
+func good() flagCase {
+	return flagCase{ranks: 256, sweepMax: 20, grid: 100, solver: "sos_sds", locSolver: "gs"}
+}
+
+func (c flagCase) run() (options, error) {
+	return validate(c.ranks, c.sweepMax, c.grid, c.solver, c.locSolver, c.target, c.chaos, 1)
+}
+
+func TestValidateRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		mutate func(*flagCase)
+		want   string
+	}{
+		{func(c *flagCase) { c.ranks = 0 }, "-n"},
+		{func(c *flagCase) { c.ranks = -4 }, "-n"},
+		{func(c *flagCase) { c.sweepMax = 0 }, "-sweep_max"},
+		{func(c *flagCase) { c.grid = 1 }, "-grid"},
+		{func(c *flagCase) { c.target = -1 }, "-target"},
+		{func(c *flagCase) { c.solver = "cg" }, "-solver"},
+		{func(c *flagCase) { c.solver = "" }, "-solver"},
+		{func(c *flagCase) { c.locSolver = "ilu" }, "-loc_solver"},
+		{func(c *flagCase) { c.chaos = -0.1 }, "-chaos"},
+		{func(c *flagCase) { c.chaos = 1.5 }, "-chaos"},
+	}
+	for _, tc := range cases {
+		c := good()
+		tc.mutate(&c)
+		_, err := c.run()
+		if err == nil {
+			t.Errorf("%+v: accepted", c)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%+v: error %q does not name the flag %q", c, err, tc.want)
+		}
+		if strings.Contains(err.Error(), "\n") {
+			t.Errorf("%+v: error is not one line: %q", c, err)
+		}
+	}
+}
+
+func TestValidateAcceptsGoodFlags(t *testing.T) {
+	c := good()
+	o, err := c.run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.method != core.DistSWD || o.local != dmem.LocalGS || o.faults != nil {
+		t.Errorf("defaults misparsed: %+v", o)
+	}
+
+	c.solver, c.locSolver = "pb16", "pardiso"
+	if o, err = c.run(); err != nil {
+		t.Fatal(err)
+	}
+	if o.method != core.Piggyback2016 || o.local != dmem.LocalDirect {
+		t.Errorf("aliases misparsed: %+v", o)
+	}
+
+	c = good()
+	c.chaos = 0.25
+	if o, err = c.run(); err != nil {
+		t.Fatal(err)
+	}
+	if o.faults == nil || o.faults.DelayProb != 0.25 {
+		t.Errorf("chaos plan not built: %+v", o.faults)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"southwell/internal/dmem"
 	"southwell/internal/partition"
 	"southwell/internal/problem"
+	"southwell/internal/rma"
 	"southwell/internal/sparse"
 )
 
@@ -48,6 +49,17 @@ type Config struct {
 	// Goroutines runs each simulated world on the rma worker-pool engine
 	// (bit-identical results; see the dmem engine-equivalence tests).
 	Goroutines bool
+	// Local selects the subdomain solver for suite runs (default
+	// dmem.LocalGS, the paper's setting).
+	Local dmem.LocalSolver
+	// Model overrides the α-β-γ cost model (nil = rma.DefaultCostModel()).
+	Model *rma.CostModel
+	// Faults, when non-nil, injects deterministic faults into every suite
+	// run (see rma.FaultPlan). The Chaos driver varies plans per run by
+	// adjusting this field on its per-run config copies.
+	Faults *rma.FaultPlan
+	// ChaosSeed seeds the delay plans the Chaos driver builds (default 1).
+	ChaosSeed int64
 }
 
 func (c Config) ranks() int {
@@ -92,15 +104,38 @@ func (c Config) suiteNames() []string {
 	return problem.SuiteNames()
 }
 
-// runKey caches distributed runs shared between tables. The engine flags
-// (Par, Goroutines) are deliberately not part of the key: they do not
-// change results.
+// runKey caches distributed runs shared between tables. Every
+// result-changing setting is part of the key: matrix, method, ranks, step
+// budget, seed, local solver, the *resolved* cost model (so nil and an
+// explicit default are one entry), and the fault plan (canonicalized to a
+// string — FaultPlan holds a map and a slice and is not comparable). Only
+// the engine flags (Par, Goroutines) are deliberately excluded: they do
+// not change results.
 type runKey struct {
 	name   string
 	method core.DistMethod
 	ranks  int
 	steps  int
 	seed   int64
+	local  dmem.LocalSolver
+	model  rma.CostModel
+	chaos  string
+}
+
+func (c Config) costModel() rma.CostModel {
+	if c.Model == nil {
+		return rma.DefaultCostModel()
+	}
+	return *c.Model
+}
+
+// chaosKey canonicalizes a fault plan for the run cache. fmt prints map
+// keys in sorted order, so the representation is deterministic.
+func chaosKey(p *rma.FaultPlan) string {
+	if p == nil {
+		return ""
+	}
+	return fmt.Sprintf("%+v", *p)
 }
 
 var (
@@ -158,7 +193,11 @@ func partitionFor(name string, a *sparse.CSR, ranks int, seed int64) []int {
 // runSuite runs (with caching) one method on one suite matrix, using the
 // config's seed and world engine.
 func runSuite(cfg Config, name string, method core.DistMethod, ranks, steps int) (*dmem.Result, error) {
-	key := runKey{name, method, ranks, steps, cfg.seed()}
+	key := runKey{
+		name: name, method: method, ranks: ranks, steps: steps,
+		seed: cfg.seed(), local: cfg.Local, model: cfg.costModel(),
+		chaos: chaosKey(cfg.Faults),
+	}
 	runMu.Lock()
 	if r, ok := runCache[key]; ok {
 		runMu.Unlock()
@@ -175,6 +214,7 @@ func runSuite(cfg Config, name string, method core.DistMethod, ranks, steps int)
 	res, err := core.SolveDistributed(a, b, x, core.DistOptions{
 		Method: method, Ranks: ranks, Steps: steps, Part: part,
 		Parallel: cfg.Goroutines,
+		Local:    cfg.Local, Model: cfg.Model, Faults: cfg.Faults,
 	})
 	if err != nil {
 		return nil, err

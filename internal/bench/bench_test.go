@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"southwell/internal/core"
+	"southwell/internal/dmem"
+	"southwell/internal/rma"
 )
 
 func quickCfg() Config { return Config{Quick: true, Ranks: 32, Seed: 1} }
@@ -160,5 +162,97 @@ func TestAblationOutput(t *testing.T) {
 		if !strings.Contains(buf.String(), label) {
 			t.Errorf("ablation missing variant %q", label)
 		}
+	}
+}
+
+// TestRunCacheKeyedByConfig: every result-changing config field must reach
+// the cache key. Historically Local, Model, and the fault plan were
+// omitted, so e.g. a Gauss-Seidel run poisoned the cache for a later
+// direct-solver table. Two runs differing in exactly one such field must
+// not share a cache entry.
+func TestRunCacheKeyedByConfig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow in -short mode")
+	}
+	ResetCaches()
+	defer ResetCaches()
+	base := quickCfg()
+	run := func(cfg Config) *dmem.Result {
+		t.Helper()
+		r, err := runSuite(cfg, "af_5_k101", core.DistSWD, base.ranks(), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	ref := run(base)
+
+	local := base
+	local.Local = dmem.LocalDirect
+	if run(local) == ref {
+		t.Error("configs differing only in Local share a cache entry")
+	}
+	model := base
+	model.Model = &rma.CostModel{Alpha: 1, Beta: 1, Gamma: 1}
+	if run(model) == ref {
+		t.Error("configs differing only in Model share a cache entry")
+	}
+	chaos := base
+	chaos.Faults = rma.DelayPlan(1, 0.25, 3)
+	if run(chaos) == ref {
+		t.Error("configs differing only in Faults share a cache entry")
+	}
+	// nil Model and an explicit default model are the same run and must
+	// share one entry.
+	def := base
+	def.Model = &rma.CostModel{}
+	*def.Model = rma.DefaultCostModel()
+	if run(def) != ref {
+		t.Error("nil cost model and explicit default did not share a cache entry")
+	}
+	if run(base) != ref {
+		t.Error("base config no longer hits its own cache entry")
+	}
+}
+
+// TestChaosOutput: the robustness table renders every method column and the
+// paper's dichotomy — Distributed Southwell "ok" on every row, the 2016
+// piggyback variant detected as stagnated under faults.
+func TestChaosOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow in -short mode")
+	}
+	ResetCaches()
+	defer ResetCaches()
+	var buf bytes.Buffer
+	if err := Chaos(&buf, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, col := range []string{"bj", "ps", "ds", "pb16", "delay"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("chaos table missing %q:\n%s", col, out)
+		}
+	}
+	// Columns after the row label: bj | ps | ds | pb16.
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "#") || !strings.Contains(line, " | ") || strings.Contains(line, "matrix") {
+			continue
+		}
+		cells := strings.Split(line, " | ")
+		if len(cells) != 5 {
+			t.Fatalf("chaos row has %d cells, want 5: %q", len(cells), line)
+		}
+		rows++
+		if strings.Contains(cells[3], "dl@") {
+			t.Errorf("Distributed Southwell tripped the watchdog: %q", line)
+		}
+		if !strings.Contains(cells[4], "dl@") {
+			t.Errorf("Piggyback2016 not detected as stagnated: %q", line)
+		}
+	}
+	if want := len(quickCfg().suiteNames()) * len(chaosLevels); rows != want {
+		t.Errorf("chaos table has %d data rows, want %d", rows, want)
 	}
 }

@@ -141,6 +141,13 @@ type DistOptions struct {
 	// Gauss-Seidel sweep — the paper's setting) or dmem.LocalDirect (exact
 	// dense solve, the artifact's PARDISO option).
 	Local dmem.LocalSolver
+	// Faults, when non-nil, installs deterministic fault injection on the
+	// simulated runtime (delays, duplicates, reordering, stragglers, rank
+	// pauses — see rma.FaultPlan). Nil is a perfect network.
+	Faults *rma.FaultPlan
+	// Watchdog overrides the stagnation-watchdog patience window in
+	// parallel steps (0 = dmem's default of 10).
+	Watchdog int
 }
 
 // SolveDistributed partitions A over opt.Ranks simulated processes and runs
@@ -158,7 +165,11 @@ func SolveDistributed(a *sparse.CSR, b, x []float64, opt DistOptions) (*dmem.Res
 	if err != nil {
 		return nil, err
 	}
-	cfg := dmem.Config{Steps: opt.Steps, Target: opt.Target, Model: opt.Model, Parallel: opt.Parallel, Local: opt.Local}
+	cfg := dmem.Config{
+		Steps: opt.Steps, Target: opt.Target, Model: opt.Model,
+		Parallel: opt.Parallel, Local: opt.Local,
+		Faults: opt.Faults, Watchdog: opt.Watchdog,
+	}
 	switch opt.Method {
 	case BlockJacobi:
 		return dmem.BlockJacobi(l, b, x, cfg), nil

@@ -8,14 +8,20 @@ type bjPayload struct {
 	deltas []float64
 }
 
+// CloneMessage deep-copies the payload for the fault layer: the sender
+// reuses deltas on its next sweep, so a delivery held back past that phase
+// must not alias it.
+func (pl *bjPayload) CloneMessage() any {
+	return &bjPayload{deltas: append([]float64(nil), pl.deltas...)}
+}
+
 // BlockJacobi runs Algorithm 1: every parallel step, every rank relaxes its
 // subdomain with one local Gauss-Seidel sweep ("hybrid Gauss-Seidel") and
 // writes boundary residual deltas to all neighbors; the step's epoch
 // completes and every rank absorbs the incoming deltas before the next
 // step, so residuals are exact at step boundaries.
 func BlockJacobi(l *Layout, b, x []float64, cfg Config) *Result {
-	w := rma.NewWorld(l.P, cfg.model())
-	w.Parallel = cfg.Parallel
+	w := newWorld(l, cfg)
 	defer w.Close()
 	states := newRankStates(l, b, x)
 	configureLocal(states, cfg)
@@ -29,11 +35,34 @@ func BlockJacobi(l *Layout, b, x []float64, cfg Config) *Result {
 		solvePl[p] = make([]bjPayload, rs.rd.Degree())
 	}
 
+	// absorb drains rank p's window in any phase: deltas always applied,
+	// fault-injected duplicate landings skipped (a real duplicated
+	// one-sided write is idempotent). BJ carries no estimates, so there is
+	// nothing to guard against staleness.
+	absorb := func(p int) {
+		rs := states[p]
+		for _, m := range w.Inbox(p) {
+			if m.Dup {
+				continue
+			}
+			rs.applyDeltas(rs.rd.NbrIdx[m.From], m.Payload.(*bjPayload).deltas)
+		}
+	}
+
+	wd := newWatchdog(cfg, w)
 	cumRelax := 0
 	for step := 1; step <= cfg.steps(); step++ {
-		// Relax and write.
+		relaxedRanks := 0
+		// Reset relax flags on the driving goroutine: a rank paused by the
+		// fault layer skips the sweep phase and must not be recounted.
+		for _, rs := range states {
+			rs.relaxed = false
+		}
+		// Relax and write (absorbing any late deliveries first).
 		w.RunPhase(func(p int) {
+			absorb(p)
 			rs := states[p]
+			rs.relaxed = true
 			rs.zeroExtDelta()
 			flops := rs.relaxLocal()
 			w.Charge(p, flops)
@@ -46,15 +75,21 @@ func BlockJacobi(l *Layout, b, x []float64, cfg Config) *Result {
 		// Wait for neighbors to finish writing, then read.
 		w.RunPhase(func(p int) {
 			rs := states[p]
-			for _, m := range w.Inbox(p) {
-				j := rs.rd.NbrIdx[m.From]
-				rs.applyDeltas(j, m.Payload.(*bjPayload).deltas)
-			}
+			absorb(p)
 			rs.norm = rs.computeNorm()
 			w.Charge(p, 2*float64(rs.rd.M()))
 		})
-		cumRelax += l.A.N // every rank relaxed every local row
-		record(res, w, states, step, l.P, cumRelax)
+		for p := range states {
+			if states[p].relaxed {
+				relaxedRanks++
+				cumRelax += states[p].rd.M()
+			}
+		}
+		record(res, w, states, step, relaxedRanks, cumRelax)
+		if wd.observe(w, relaxedRanks) {
+			res.deadlockAt(step)
+			break
+		}
 		if cfg.Target > 0 && res.Final().ResNorm <= cfg.Target {
 			break
 		}

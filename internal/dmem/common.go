@@ -38,6 +38,17 @@ type Config struct {
 	Parallel bool
 	// Local selects the subdomain solver (default LocalGS).
 	Local LocalSolver
+	// Faults, when non-nil, installs deterministic fault injection on the
+	// simulated world (rma.FaultPlan: delayed, duplicated, and reordered
+	// deliveries, stragglers, rank pauses). Nil is a perfect network. The
+	// plan is copied per run, so one plan value can drive many runs.
+	Faults *rma.FaultPlan
+	// Watchdog is the patience window, in parallel steps, of the
+	// stagnation/deadlock watchdog (see Result.Deadlocked): a provably
+	// stuck run stops immediately, and a run that has been idle for
+	// Watchdog consecutive steps stops even if the fault layer could still
+	// wake it. Values < 1 mean the default of 10.
+	Watchdog int
 }
 
 func (c Config) model() rma.CostModel {
@@ -54,6 +65,23 @@ func (c Config) steps() int {
 	return c.Steps
 }
 
+func (c Config) watchdogWindow() int {
+	if c.Watchdog < 1 {
+		return 10
+	}
+	return c.Watchdog
+}
+
+// newWorld builds the simulated world for one run: the configured cost
+// model and engine, with the fault plan (if any) installed before the
+// first phase.
+func newWorld(l *Layout, cfg Config) *rma.World {
+	w := rma.NewWorld(l.P, cfg.model())
+	w.Parallel = cfg.Parallel
+	w.InstallFaults(cfg.Faults)
+	return w
+}
+
 // StepStats is the global state after one parallel step, with cumulative
 // communication counters (so differences give per-step costs).
 type StepStats struct {
@@ -64,6 +92,11 @@ type StepStats struct {
 	SolveMsgs    int64
 	ResMsgs      int64
 	SimTime      float64
+	// Cumulative fault-injection counters (all zero on a perfect network).
+	Delayed   int64 // messages the fault layer has held back so far
+	Duped     int64 // duplicate landings injected so far
+	Reordered int64 // delivery batches shuffled so far
+	Paused    int64 // rank-phases spent paused so far
 }
 
 // TotalMsgs returns cumulative messages at this step.
@@ -79,8 +112,10 @@ type Result struct {
 	// ActiveFraction is the mean over steps of (relaxing ranks)/P — the
 	// paper's "active processes" metric.
 	ActiveFraction float64
-	// Deadlocked reports that the method stopped making progress with a
-	// nonzero residual (only the 2016 piggyback variant can set this).
+	// Deadlocked reports that the stagnation watchdog stopped the run with
+	// a nonzero residual. On a perfect network only the 2016 piggyback
+	// variant can set this (the paper's §2.4 dichotomy); under fault
+	// injection every method is monitored.
 	Deadlocked   bool
 	DeadlockStep int
 	X            []float64 // gathered global solution
@@ -98,19 +133,34 @@ func (r *Result) StepsToNorm(target float64) (float64, bool) {
 }
 
 // InterpAtNorm linearly interpolates any cumulative quantity (selected by
-// pick) to the moment the residual norm first reached target.
+// pick) to the moment the residual norm *first* crossed down to target.
+//
+// Semantics on non-monotone histories (Block Jacobi diverges and can
+// recross the target on several suite matrices): the earliest record at or
+// below target wins, interpolated on log10(‖r‖) against its predecessor;
+// later excursions back above target are ignored. Degenerate geometry
+// never produces NaN or ±Inf: a history that starts at or below target
+// reports its initial record, an exact-zero endpoint or a non-finite
+// predecessor snaps to the crossing record instead of interpolating in log
+// space, and NaN norms (overflowed divergence) are never crossings.
 func (r *Result) InterpAtNorm(target float64, pick func(StepStats) float64) (float64, bool) {
+	if len(r.History) == 0 {
+		return 0, false
+	}
+	if r.History[0].ResNorm <= target {
+		return pick(r.History[0]), true
+	}
 	lt := math.Log10(target)
 	for i := 1; i < len(r.History); i++ {
-		if r.History[i].ResNorm > target {
+		cur := r.History[i]
+		if !(cur.ResNorm <= target) { // NaN-safe: NaN never crosses
 			continue
 		}
 		prev := r.History[i-1]
-		cur := r.History[i]
-		if prev.ResNorm <= target || cur.ResNorm <= 0 {
+		l0 := math.Log10(prev.ResNorm)
+		if cur.ResNorm <= 0 || math.IsInf(lt, -1) || math.IsNaN(l0) || math.IsInf(l0, 1) {
 			return pick(cur), true
 		}
-		l0 := math.Log10(prev.ResNorm)
 		l1 := math.Log10(cur.ResNorm)
 		f := (l0 - lt) / (l0 - l1)
 		return pick(prev) + f*(pick(cur)-pick(prev)), true
@@ -136,9 +186,23 @@ type rankState struct {
 	// crossing neighbor computes from them (keeping Γ̃ exact; DESIGN.md §5).
 	lastSentNorm float64
 	sentBnd      [][]float64 // per neighbor: boundary residuals at send
+	// seqSeen is, per neighbor, the newest payload sequence number whose
+	// estimates were absorbed. Under fault injection a delayed message can
+	// arrive after fresher information; its residual deltas are still
+	// applied (they are additive and exact regardless of order), but its
+	// stale Γ/Γ̃/ghost values must not overwrite newer ones. Always zero on
+	// a perfect network (messages arrive in order, never late).
+	seqSeen []int64
 
 	extDelta []float64 // scratch, per ext row
 	relaxed  bool      // relaxed in the current step
+	// Starvation tracking, used only under fault injection (DS): gotMsg is
+	// set by the absorb paths when any non-duplicate message is read, and
+	// starved counts consecutive steps with neither a relaxation nor a
+	// receipt. A starving rank re-announces its exact residual state so
+	// fault-desynced Γ/Γ̃ estimates become exact again (see distsw.go).
+	gotMsg  bool
+	starved int
 
 	// Persistent per-neighbor send buffers: message payloads point into
 	// these, so the steady-state message path allocates nothing. A buffer
@@ -217,6 +281,7 @@ func newRankStates(l *Layout, b, x []float64) []*rankState {
 			gammaTilde: make([]float64, rd.Degree()),
 			z:          make([]float64, len(rd.ExtGlob)),
 			sentTo:     make([]bool, rd.Degree()),
+			seqSeen:    make([]int64, rd.Degree()),
 			sentBnd:    make([][]float64, rd.Degree()),
 			extDelta:   make([]float64, len(rd.ExtGlob)),
 			sendDeltas: make([][]float64, rd.Degree()),
@@ -434,7 +499,65 @@ func record(res *Result, w *rma.World, states []*rankState, step, relaxedRanks, 
 		SolveMsgs:    st.SolveMsgs,
 		ResMsgs:      st.ResMsgs,
 		SimTime:      st.SimTime,
+		Delayed:      st.DelayedMsgs,
+		Duped:        st.DupMsgs,
+		Reordered:    st.ReorderedBatches,
+		Paused:       st.PausedRankPhases,
 	})
+}
+
+// watchdog is the stagnation/deadlock detector shared by every method,
+// generalizing the detector that used to live inside Piggyback2016. It
+// watches each completed parallel step for an *idle* step — no rank
+// relaxed, no message was staged, and no message landed — and stops the
+// run when
+//
+//   - the step was idle and the fault layer is quiescent: the state
+//     machine is deterministic, so every later step would repeat this one
+//     exactly (on a perfect network this is precisely the 2016 piggyback
+//     deadlock rule: a step without relaxations stages and lands nothing);
+//   - or window consecutive steps were idle even though the fault layer
+//     could still wake the run (a pause far in the future): patience
+//     bound, off on a perfect network where the first idle step already
+//     trips the provable rule.
+type watchdog struct {
+	window        int
+	idle          int   // consecutive idle steps
+	lastSent      int64 // cumulative staged messages at the previous step
+	lastDelivered int64 // cumulative landed messages at the previous step
+}
+
+func newWatchdog(cfg Config, w *rma.World) *watchdog {
+	st := w.Stats()
+	return &watchdog{
+		window:        cfg.watchdogWindow(),
+		lastSent:      st.TotalMsgs(),
+		lastDelivered: st.Delivered,
+	}
+}
+
+// observe inspects one completed parallel step and reports whether the run
+// is stuck and should stop.
+func (wd *watchdog) observe(w *rma.World, relaxedRanks int) bool {
+	st := w.Stats()
+	sent, delivered := st.TotalMsgs(), st.Delivered
+	idle := relaxedRanks == 0 && sent == wd.lastSent && delivered == wd.lastDelivered
+	wd.lastSent, wd.lastDelivered = sent, delivered
+	if !idle {
+		wd.idle = 0
+		return false
+	}
+	wd.idle++
+	return w.FaultsQuiescent() || wd.idle >= wd.window
+}
+
+// deadlockAt marks a watchdog stop at step — unless the run had in fact
+// converged to (numerical) zero and simply has nothing left to do.
+func (res *Result) deadlockAt(step int) {
+	if res.Final().ResNorm > 1e-14 {
+		res.Deadlocked = true
+		res.DeadlockStep = step
+	}
 }
 
 // finish fills the summary fields of a result.

@@ -12,6 +12,17 @@ type dsSolvePayload struct {
 	bnd     []float64
 	norm    float64
 	estRecv float64
+	seq     int64 // sender sequence number (stale-estimate guard; see seqSeen)
+}
+
+// CloneMessage deep-copies the payload for the fault layer: the sender
+// reuses deltas/bnd on its next relaxation, so a delivery held back past
+// that phase must not alias them.
+func (pl *dsSolvePayload) CloneMessage() any {
+	c := *pl
+	c.deltas = append([]float64(nil), pl.deltas...)
+	c.bnd = append([]float64(nil), pl.bnd...)
+	return &c
 }
 
 // dsResPayload is an explicit residual update (Algorithm 3, line 29), sent
@@ -20,6 +31,13 @@ type dsResPayload struct {
 	bnd     []float64
 	norm    float64
 	estRecv float64
+	seq     int64
+}
+
+func (pl *dsResPayload) CloneMessage() any {
+	c := *pl
+	c.bnd = append([]float64(nil), pl.bnd...)
+	return &c
 }
 
 // DistSWOptions are Distributed Southwell variants beyond the paper,
@@ -51,8 +69,7 @@ func DistributedSouthwellOpt(l *Layout, b, x []float64, cfg Config, opts DistSWO
 }
 
 func distributedSouthwell(l *Layout, b, x []float64, cfg Config, opts DistSWOptions) *Result {
-	w := rma.NewWorld(l.P, cfg.model())
-	w.Parallel = cfg.Parallel
+	w := newWorld(l, cfg)
 	defer w.Close()
 	states := newRankStates(l, b, x)
 	configureLocal(states, cfg)
@@ -69,62 +86,38 @@ func distributedSouthwell(l *Layout, b, x []float64, cfg Config, opts DistSWOpti
 		resPl[p] = make([]dsResPayload, rs.rd.Degree())
 	}
 
-	cumRelax := 0
-	for step := 1; step <= cfg.steps(); step++ {
-		relaxedRanks := 0
-		// Phase 1: decide from estimates; relax; write updates.
-		w.RunPhase(func(p int) {
-			rs := states[p]
-			rs.relaxed = false
-			wins := rs.norm > 0
-			for j, q := range rs.rd.Nbrs {
-				if !winsOver(rs.norm, p, rs.gamma[j], q) {
-					wins = false
-					break
-				}
+	// absorb drains rank p's window — callable from any phase. Residual
+	// deltas are always applied: they are additive and exact regardless of
+	// arrival order or lateness. Ghost refreshes and the Γ/Γ̃ estimates are
+	// guarded by the payload sequence number, so a delayed message cannot
+	// overwrite fresher information with stale values. Duplicate landings
+	// injected by the fault layer are skipped (a real duplicated one-sided
+	// write is idempotent). On a perfect network phase-1 windows are empty
+	// and every sequence number is fresh, so this reduces exactly to the
+	// paper's phase-2/phase-3 reads.
+	absorb := func(p int) {
+		rs := states[p]
+		changed := false
+		for _, m := range w.Inbox(p) {
+			if m.Dup {
+				continue
 			}
-			w.Charge(p, float64(rs.rd.Degree()))
-			if !wins {
-				return
-			}
-			rs.relaxed = true
-			rs.zeroExtDelta()
-			flops := rs.relaxLocal()
-			rs.norm = rs.computeNorm()
-			rs.lastSentNorm = rs.norm
-			w.Charge(p, flops+2*float64(rs.rd.M()))
-			for j, q := range rs.rd.Nbrs {
-				// Local, communication-free improvement of the estimate of
-				// q's norm using the ghost layer (skippable for ablation).
-				if opts.NoGhostEstimate {
-					for _, e := range rs.rd.BndExt[j] {
-						rs.z[e] += rs.extDelta[e]
-					}
-				} else {
-					rs.updateGhostAndGamma(j)
-				}
-				w.Charge(p, 2*float64(len(rs.rd.BndExt[j])))
-				rs.gammaTilde[j] = rs.norm
-				rs.sentTo[j] = true
-				pl := &solvePl[p][j]
-				pl.deltas = rs.deltasFor(j)
-				pl.bnd = rs.boundaryResiduals(j)
-				pl.norm = rs.norm
-				pl.estRecv = rs.gamma[j]
-				rs.sentBnd[j] = pl.bnd
-				w.Put(p, q, rma.TagSolve, msgBytes(len(pl.deltas)+len(pl.bnd)+2), pl)
-			}
-		})
-		// Phase 2: absorb writes; detect deadlock risk; write explicit
-		// residual updates where needed.
-		w.RunPhase(func(p int) {
-			rs := states[p]
-			changed := false
-			for _, m := range w.Inbox(p) {
-				pl := m.Payload.(*dsSolvePayload)
-				j := rs.rd.NbrIdx[m.From]
+			rs.gotMsg = true
+			j := rs.rd.NbrIdx[m.From]
+			switch pl := m.Payload.(type) {
+			case *dsSolvePayload:
 				rs.applyDeltas(j, pl.deltas)
-				if rs.sentTo[j] {
+				changed = true
+				if pl.seq < rs.seqSeen[j] {
+					continue // keep the deltas, drop the stale estimates
+				}
+				rs.seqSeen[j] = pl.seq
+				// Crossing correction only when this rank itself relaxed
+				// this step and wrote to j (so lastSentNorm/sentBnd/extDelta
+				// describe this step's send). Fault-free this is exactly the
+				// phase-2 sentTo condition; under faults sentTo[j] can also
+				// mean an explicit update was sent, which has no crossing.
+				if rs.relaxed && rs.sentTo[j] {
 					// Crossing relaxations: the sender's ghost refresh and
 					// norm predate this rank's own deltas to it, so re-apply
 					// them on top (the "better estimate than doing nothing"
@@ -161,40 +154,120 @@ func distributedSouthwell(l *Layout, b, x []float64, cfg Config, opts DistSWOpti
 					rs.gamma[j] = pl.norm
 					rs.gammaTilde[j] = pl.estRecv
 				}
-				changed = true
-			}
-			for j := range rs.sentTo {
-				rs.sentTo[j] = false
-			}
-			if changed {
-				rs.norm = rs.computeNorm()
-				w.Charge(p, 2*float64(rs.rd.M()))
-			}
-			// Deadlock-risk detection (Algorithm 3, lines 27-30).
-			for j, q := range rs.rd.Nbrs {
-				if rs.gammaTilde[j] > rs.norm*(1+opts.UpdateSlack) {
-					rs.gammaTilde[j] = rs.norm
-					rs.sentTo[j] = true
-					pl := &resPl[p][j]
-					pl.bnd = rs.resBoundaryResiduals(j)
-					pl.norm = rs.norm
-					pl.estRecv = rs.gamma[j]
-					w.Put(p, q, rma.TagResidual, msgBytes(len(pl.bnd)+2), pl)
+			case *dsResPayload:
+				if pl.seq < rs.seqSeen[j] {
+					continue
 				}
-			}
-		})
-		// Phase 3: absorb explicit updates.
-		w.RunPhase(func(p int) {
-			rs := states[p]
-			for _, m := range w.Inbox(p) {
-				pl := m.Payload.(*dsResPayload)
-				j := rs.rd.NbrIdx[m.From]
+				rs.seqSeen[j] = pl.seq
 				rs.overwriteGhost(j, pl.bnd)
 				rs.gamma[j] = pl.norm
 				if !rs.sentTo[j] {
 					rs.gammaTilde[j] = pl.estRecv
 				}
 			}
+		}
+		if changed {
+			rs.norm = rs.computeNorm()
+			w.Charge(p, 2*float64(rs.rd.M()))
+		}
+	}
+
+	wd := newWatchdog(cfg, w)
+	chaotic := cfg.Faults != nil
+	refreshAfter := (cfg.watchdogWindow() + 1) / 2
+	cumRelax := 0
+	for step := 1; step <= cfg.steps(); step++ {
+		relaxedRanks := 0
+		// Reset relax flags on the driving goroutine: a rank paused by the
+		// fault layer does not execute phase 1 and must not be counted as
+		// having relaxed again.
+		for _, rs := range states {
+			rs.relaxed = false
+		}
+		// Phase 1: absorb any late deliveries; decide from estimates;
+		// relax; write updates.
+		w.RunPhase(func(p int) {
+			absorb(p)
+			rs := states[p]
+			wins := rs.norm > 0
+			for j, q := range rs.rd.Nbrs {
+				if !winsOver(rs.norm, p, rs.gamma[j], q) {
+					wins = false
+					break
+				}
+			}
+			w.Charge(p, float64(rs.rd.Degree()))
+			if !wins {
+				return
+			}
+			rs.relaxed = true
+			rs.zeroExtDelta()
+			flops := rs.relaxLocal()
+			rs.norm = rs.computeNorm()
+			rs.lastSentNorm = rs.norm
+			w.Charge(p, flops+2*float64(rs.rd.M()))
+			for j, q := range rs.rd.Nbrs {
+				// Local, communication-free improvement of the estimate of
+				// q's norm using the ghost layer (skippable for ablation).
+				if opts.NoGhostEstimate {
+					for _, e := range rs.rd.BndExt[j] {
+						rs.z[e] += rs.extDelta[e]
+					}
+				} else {
+					rs.updateGhostAndGamma(j)
+				}
+				w.Charge(p, 2*float64(len(rs.rd.BndExt[j])))
+				rs.gammaTilde[j] = rs.norm
+				rs.sentTo[j] = true
+				pl := &solvePl[p][j]
+				pl.deltas = rs.deltasFor(j)
+				pl.bnd = rs.boundaryResiduals(j)
+				pl.norm = rs.norm
+				pl.estRecv = rs.gamma[j]
+				pl.seq = 2 * int64(step)
+				rs.sentBnd[j] = pl.bnd
+				w.Put(p, q, rma.TagSolve, msgBytes(len(pl.deltas)+len(pl.bnd)+2), pl)
+			}
+		})
+		// Phase 2: absorb writes; detect deadlock risk; write explicit
+		// residual updates where needed.
+		w.RunPhase(func(p int) {
+			absorb(p)
+			rs := states[p]
+			for j := range rs.sentTo {
+				rs.sentTo[j] = false
+			}
+			// Starvation re-announce (fault injection only): delayed or
+			// crossing messages can desync the Γ̃ mirror arithmetic from the
+			// neighbor's actual estimate, and a mutual overestimate cycle
+			// would then stall forever — the fault-free §2.4 proof assumes
+			// faithful tracking. A rank that has neither relaxed nor
+			// received anything for half the watchdog patience re-sends its
+			// exact residual state to every neighbor, making the estimates
+			// exact again, so Distributed Southwell stays deadlock-free on
+			// any eventually-quiescent network.
+			refresh := chaotic && rs.starved >= refreshAfter
+			if refresh {
+				rs.starved = 0
+			}
+			// Deadlock-risk detection (Algorithm 3, lines 27-30).
+			for j, q := range rs.rd.Nbrs {
+				if refresh || rs.gammaTilde[j] > rs.norm*(1+opts.UpdateSlack) {
+					rs.gammaTilde[j] = rs.norm
+					rs.sentTo[j] = true
+					pl := &resPl[p][j]
+					pl.bnd = rs.resBoundaryResiduals(j)
+					pl.norm = rs.norm
+					pl.estRecv = rs.gamma[j]
+					pl.seq = 2*int64(step) + 1
+					w.Put(p, q, rma.TagResidual, msgBytes(len(pl.bnd)+2), pl)
+				}
+			}
+		})
+		// Phase 3: absorb explicit updates.
+		w.RunPhase(func(p int) {
+			absorb(p)
+			rs := states[p]
 			for j := range rs.sentTo {
 				rs.sentTo[j] = false
 			}
@@ -205,7 +278,21 @@ func distributedSouthwell(l *Layout, b, x []float64, cfg Config, opts DistSWOpti
 				cumRelax += states[p].rd.M()
 			}
 		}
+		if chaotic {
+			for _, rs := range states {
+				if rs.relaxed || rs.gotMsg {
+					rs.starved = 0
+				} else {
+					rs.starved++
+				}
+				rs.gotMsg = false
+			}
+		}
 		record(res, w, states, step, relaxedRanks, cumRelax)
+		if wd.observe(w, relaxedRanks) {
+			res.deadlockAt(step)
+			break
+		}
 		if cfg.Target > 0 && res.Final().ResNorm <= cfg.Target {
 			break
 		}

@@ -1,0 +1,109 @@
+package dmem
+
+import (
+	"math"
+	"testing"
+)
+
+func hist(norms ...float64) *Result {
+	res := &Result{}
+	for i, n := range norms {
+		res.History = append(res.History, StepStats{Step: i, ResNorm: n})
+	}
+	return res
+}
+
+func checkFinite(t *testing.T, label string, v float64) {
+	t.Helper()
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Errorf("%s = %g, want finite", label, v)
+	}
+}
+
+// TestInterpAtNormFirstCrossing: on a non-monotone history (norms can rise
+// under asynchrony or faults) the reported step must be the FIRST crossing
+// of the target, not a later one found by scanning backwards.
+func TestInterpAtNormFirstCrossing(t *testing.T) {
+	res := hist(1, 0.5, 0.05, 0.5, 0.02)
+	s, ok := res.StepsToNorm(0.1)
+	if !ok {
+		t.Fatal("target not found")
+	}
+	if s <= 1 || s >= 2 {
+		t.Errorf("first crossing at step %g, want in (1,2)", s)
+	}
+	checkFinite(t, "StepsToNorm", s)
+}
+
+// TestInterpAtNormTargetAboveInitial: a target at or above the initial norm
+// is met before step 1; the answer is History[0], not NaN from a
+// divide-by-zero in the log interpolation.
+func TestInterpAtNormTargetAboveInitial(t *testing.T) {
+	res := hist(1, 0.5)
+	for _, target := range []float64{1, 2} {
+		s, ok := res.StepsToNorm(target)
+		if !ok || s != 0 {
+			t.Errorf("StepsToNorm(%g) = %g, %v; want 0, true", target, s, ok)
+		}
+	}
+}
+
+// TestInterpAtNormZeroResidual: an exact solve (norm 0) on some step must
+// report that step instead of interpolating through log10(0) = -Inf.
+func TestInterpAtNormZeroResidual(t *testing.T) {
+	res := hist(1, 0.5, 0)
+	s, ok := res.StepsToNorm(0.1)
+	if !ok || s != 2 {
+		t.Errorf("StepsToNorm = %g, %v; want 2, true", s, ok)
+	}
+	// A zero target is only met by an exactly-zero step.
+	s, ok = res.StepsToNorm(0)
+	if !ok || s != 2 {
+		t.Errorf("StepsToNorm(0) = %g, %v; want 2, true", s, ok)
+	}
+	if _, ok := hist(1, 0.5, 0.25).StepsToNorm(0); ok {
+		t.Error("StepsToNorm(0) reported reached on a nonzero history")
+	}
+}
+
+// TestInterpAtNormNonFinitePrev: a NaN or +Inf norm (diverged or corrupted
+// step) immediately before the crossing cannot poison the interpolation —
+// the crossing record itself is reported.
+func TestInterpAtNormNonFinitePrev(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1)} {
+		res := hist(1, bad, 0.05)
+		s, ok := res.StepsToNorm(0.1)
+		if !ok || s != 2 {
+			t.Errorf("prev=%g: StepsToNorm = %g, %v; want 2, true", bad, s, ok)
+		}
+		checkFinite(t, "StepsToNorm with non-finite prev", s)
+	}
+	// An all-NaN tail never crosses: not reached, no panic.
+	if _, ok := hist(1, math.NaN(), math.NaN()).StepsToNorm(0.1); ok {
+		t.Error("NaN history reported as reaching the target")
+	}
+}
+
+// TestInterpAtNormEmptyHistory: no history, no crossing, no panic.
+func TestInterpAtNormEmptyHistory(t *testing.T) {
+	if _, ok := (&Result{}).StepsToNorm(0.1); ok {
+		t.Error("empty history reported as reaching the target")
+	}
+}
+
+// TestInterpAtNormMetricInterpolation: InterpAtNorm interpolates arbitrary
+// metrics between the bracketing records and snaps to the crossing record
+// in the degenerate cases.
+func TestInterpAtNormMetricInterpolation(t *testing.T) {
+	res := hist(1, 0.5, 0.05)
+	msgs := func(h StepStats) float64 { return float64(h.Step) * 100 }
+	v, ok := res.InterpAtNorm(0.1, msgs)
+	if !ok || v <= 100 || v >= 200 {
+		t.Errorf("InterpAtNorm = %g, %v; want in (100,200)", v, ok)
+	}
+	v, ok = hist(1, 0.5, 0).InterpAtNorm(0.1, msgs)
+	if !ok || v != 200 {
+		t.Errorf("InterpAtNorm at zero-residual crossing = %g, %v; want 200", v, ok)
+	}
+	checkFinite(t, "InterpAtNorm", v)
+}

@@ -7,11 +7,27 @@ import "southwell/internal/rma"
 type psSolvePayload struct {
 	deltas []float64
 	norm   float64
+	seq    int64 // sender sequence number (stale-estimate guard; see seqSeen)
+}
+
+// CloneMessage deep-copies the payload for the fault layer: the sender
+// reuses deltas on its next relaxation, so a delivery held back past that
+// phase must not alias it.
+func (pl *psSolvePayload) CloneMessage() any {
+	c := *pl
+	c.deltas = append([]float64(nil), pl.deltas...)
+	return &c
 }
 
 // psResPayload is an explicit residual-norm update (Algorithm 2, line 20).
 type psResPayload struct {
 	norm float64
+	seq  int64
+}
+
+func (pl *psResPayload) CloneMessage() any {
+	c := *pl
+	return &c
 }
 
 // ParallelSouthwell runs the block form of Algorithm 2 over the simulated
@@ -27,8 +43,7 @@ type psResPayload struct {
 // Norms in Γ are therefore exact at every decision, making the method
 // mathematically identical to shared-memory block Parallel Southwell.
 func ParallelSouthwell(l *Layout, b, x []float64, cfg Config) *Result {
-	w := rma.NewWorld(l.P, cfg.model())
-	w.Parallel = cfg.Parallel
+	w := newWorld(l, cfg)
 	defer w.Close()
 	states := newRankStates(l, b, x)
 	configureLocal(states, cfg)
@@ -44,13 +59,54 @@ func ParallelSouthwell(l *Layout, b, x []float64, cfg Config) *Result {
 		solvePl[p] = make([]psSolvePayload, rs.rd.Degree())
 	}
 
+	// absorb drains rank p's window in any phase: deltas are always applied
+	// (additive, exact regardless of arrival order), the piggybacked norm is
+	// taken only when at least as fresh as what was already absorbed, and
+	// fault-injected duplicate landings are skipped (a real duplicated
+	// one-sided write is idempotent). Reduces to the paper's phase-2/phase-3
+	// reads on a perfect network.
+	absorb := func(p int) {
+		rs := states[p]
+		changed := false
+		for _, m := range w.Inbox(p) {
+			if m.Dup {
+				continue
+			}
+			j := rs.rd.NbrIdx[m.From]
+			switch pl := m.Payload.(type) {
+			case *psSolvePayload:
+				rs.applyDeltas(j, pl.deltas)
+				changed = true
+				if pl.seq >= rs.seqSeen[j] {
+					rs.seqSeen[j] = pl.seq
+					rs.gamma[j] = pl.norm
+				}
+			case *psResPayload:
+				if pl.seq >= rs.seqSeen[j] {
+					rs.seqSeen[j] = pl.seq
+					rs.gamma[j] = pl.norm
+				}
+			}
+		}
+		if changed {
+			rs.norm = rs.computeNorm()
+			w.Charge(p, 2*float64(rs.rd.M()))
+		}
+	}
+
+	wd := newWatchdog(cfg, w)
 	cumRelax := 0
 	for step := 1; step <= cfg.steps(); step++ {
 		relaxedRanks := 0
-		// Phase 1: decide and relax.
-		w.RunPhase(func(p int) {
-			rs := states[p]
+		// Reset relax flags on the driving goroutine: a rank paused by the
+		// fault layer does not execute phase 1 and must not be recounted.
+		for _, rs := range states {
 			rs.relaxed = false
+		}
+		// Phase 1: absorb late deliveries; decide and relax.
+		w.RunPhase(func(p int) {
+			absorb(p)
+			rs := states[p]
 			wins := rs.norm > 0
 			for j, q := range rs.rd.Nbrs {
 				if !winsOver(rs.norm, p, rs.gamma[j], q) {
@@ -72,39 +128,25 @@ func ParallelSouthwell(l *Layout, b, x []float64, cfg Config) *Result {
 				pl := &solvePl[p][j]
 				pl.deltas = rs.deltasFor(j)
 				pl.norm = rs.norm
+				pl.seq = 2 * int64(step)
 				w.Put(p, q, rma.TagSolve, msgBytes(len(pl.deltas)+1), pl)
 			}
 		})
 		// Phase 2: absorb writes; announce changed norms.
 		w.RunPhase(func(p int) {
+			absorb(p)
 			rs := states[p]
-			changed := false
-			for _, m := range w.Inbox(p) {
-				pl := m.Payload.(*psSolvePayload)
-				j := rs.rd.NbrIdx[m.From]
-				rs.applyDeltas(j, pl.deltas)
-				rs.gamma[j] = pl.norm
-				changed = true
-			}
-			if changed {
-				rs.norm = rs.computeNorm()
-				w.Charge(p, 2*float64(rs.rd.M()))
-			}
 			if rs.norm != rs.lastTold {
 				rs.lastTold = rs.norm
 				resPl[p].norm = rs.norm
+				resPl[p].seq = 2*int64(step) + 1
 				for _, q := range rs.rd.Nbrs {
 					w.Put(p, q, rma.TagResidual, msgBytes(1), &resPl[p])
 				}
 			}
 		})
 		// Phase 3: absorb explicit updates.
-		w.RunPhase(func(p int) {
-			rs := states[p]
-			for _, m := range w.Inbox(p) {
-				rs.gamma[rs.rd.NbrIdx[m.From]] = m.Payload.(*psResPayload).norm
-			}
-		})
+		w.RunPhase(absorb)
 		for p := range states {
 			if states[p].relaxed {
 				relaxedRanks++
@@ -112,6 +154,10 @@ func ParallelSouthwell(l *Layout, b, x []float64, cfg Config) *Result {
 			}
 		}
 		record(res, w, states, step, relaxedRanks, cumRelax)
+		if wd.observe(w, relaxedRanks) {
+			res.deadlockAt(step)
+			break
+		}
 		if cfg.Target > 0 && res.Final().ResNorm <= cfg.Target {
 			break
 		}

@@ -7,11 +7,10 @@ import "southwell/internal/rma"
 // messages; there are no explicit residual updates. When every rank's
 // (stale) estimates of its neighbors exceed its own norm, no rank relaxes
 // and the state can never change again: the method deadlocks, as the paper
-// reports it does on all test problems. The run stops at the first such
-// step and sets Result.Deadlocked.
+// reports it does on all test problems. The stagnation watchdog (common.go)
+// stops the run at the first such step and sets Result.Deadlocked.
 func Piggyback2016(l *Layout, b, x []float64, cfg Config) *Result {
-	w := rma.NewWorld(l.P, cfg.model())
-	w.Parallel = cfg.Parallel
+	w := newWorld(l, cfg)
 	defer w.Close()
 	states := newRankStates(l, b, x)
 	configureLocal(states, cfg)
@@ -24,12 +23,43 @@ func Piggyback2016(l *Layout, b, x []float64, cfg Config) *Result {
 		solvePl[p] = make([]psSolvePayload, rs.rd.Degree())
 	}
 
+	// absorb drains rank p's window in any phase: deltas always applied,
+	// piggybacked norms guarded by the payload sequence number, duplicate
+	// landings skipped. The method's one absorbing phase runs it fault-free
+	// unchanged; under faults it also picks up late deliveries in phase 1.
+	absorb := func(p int) {
+		rs := states[p]
+		changed := false
+		for _, m := range w.Inbox(p) {
+			if m.Dup {
+				continue
+			}
+			pl := m.Payload.(*psSolvePayload)
+			j := rs.rd.NbrIdx[m.From]
+			rs.applyDeltas(j, pl.deltas)
+			changed = true
+			if pl.seq >= rs.seqSeen[j] {
+				rs.seqSeen[j] = pl.seq
+				rs.gamma[j] = pl.norm
+			}
+		}
+		if changed {
+			rs.norm = rs.computeNorm()
+		}
+	}
+
+	wd := newWatchdog(cfg, w)
 	cumRelax := 0
 	for step := 1; step <= cfg.steps(); step++ {
 		relaxedRanks := 0
-		w.RunPhase(func(p int) {
-			rs := states[p]
+		// Reset relax flags on the driving goroutine: a rank paused by the
+		// fault layer does not execute phase 1 and must not be recounted.
+		for _, rs := range states {
 			rs.relaxed = false
+		}
+		w.RunPhase(func(p int) {
+			absorb(p)
+			rs := states[p]
 			wins := rs.norm > 0
 			for j, q := range rs.rd.Nbrs {
 				if !winsOver(rs.norm, p, rs.gamma[j], q) {
@@ -49,25 +79,13 @@ func Piggyback2016(l *Layout, b, x []float64, cfg Config) *Result {
 				pl := &solvePl[p][j]
 				pl.deltas = rs.deltasFor(j)
 				pl.norm = rs.norm
+				pl.seq = 2 * int64(step)
 				w.Put(p, q, rma.TagSolve, msgBytes(len(pl.deltas)+1), pl)
 			}
 		})
-		w.RunPhase(func(p int) {
-			rs := states[p]
-			changed := false
-			for _, m := range w.Inbox(p) {
-				pl := m.Payload.(*psSolvePayload)
-				j := rs.rd.NbrIdx[m.From]
-				rs.applyDeltas(j, pl.deltas)
-				rs.gamma[j] = pl.norm
-				changed = true
-			}
-			if changed {
-				rs.norm = rs.computeNorm()
-			}
-			// No explicit residual update: norm changes from incoming
-			// deltas are never announced. This is the deadlock mechanism.
-		})
+		// No explicit residual update phase: norm changes from incoming
+		// deltas are never announced. This is the deadlock mechanism.
+		w.RunPhase(absorb)
 		for p := range states {
 			if states[p].relaxed {
 				relaxedRanks++
@@ -75,13 +93,11 @@ func Piggyback2016(l *Layout, b, x []float64, cfg Config) *Result {
 			}
 		}
 		record(res, w, states, step, relaxedRanks, cumRelax)
-		if relaxedRanks == 0 {
-			// Nothing relaxed, so no messages were sent, so no estimate can
-			// ever change: the system is deadlocked (unless converged).
-			if res.Final().ResNorm > 1e-14 {
-				res.Deadlocked = true
-				res.DeadlockStep = step
-			}
+		if wd.observe(w, relaxedRanks) {
+			// On a perfect network this fires at the first step without
+			// relaxations — nothing was sent, so no estimate can ever
+			// change; under faults it also waits out in-flight deliveries.
+			res.deadlockAt(step)
 			break
 		}
 		if cfg.Target > 0 && res.Final().ResNorm <= cfg.Target {

@@ -28,6 +28,11 @@
 // preallocated, and payloads are expected to be pointers to caller-owned
 // buffers (boxing a pointer into the Payload interface does not allocate).
 //
+// A seeded fault-injection plan (faults.go) can perturb delivery — delayed,
+// duplicated, and reordered landings, straggler cost multipliers, and rank
+// pauses — deterministically and identically on both engines, for the
+// robustness studies.
+//
 // The runtime also does the bookkeeping the paper reports: messages and
 // bytes per rank split by tag (solve updates vs explicit residual updates,
 // Table 3), and a BSP α-β-γ cost model that converts per-phase maxima of
@@ -36,11 +41,17 @@
 package rma
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 )
+
+// ErrClosed is the panic value of Put and RunPhase on a closed World:
+// using a world after Close is a programming error that previously hung on
+// the released worker pool, so it now fails loudly instead.
+var ErrClosed = errors.New("rma: world used after Close")
 
 // Tag classifies a message for the communication-cost breakdown.
 type Tag int
@@ -78,6 +89,10 @@ type Message struct {
 	Tag     Tag
 	Bytes   int
 	Payload any
+	// Dup marks a duplicate landing injected by the fault layer: the same
+	// window write observed twice in one batch. Receivers treating window
+	// writes as idempotent skip these.
+	Dup bool
 }
 
 // World is a set of P simulated ranks with windows and counters.
@@ -99,6 +114,12 @@ type World struct {
 	totalMsgs  [numTags]int64
 	totalBytes [numTags]int64
 	phases     int64
+	delivered  int64
+
+	// chaos, when non-nil, is the installed fault-injection state (see
+	// faults.go). All chaos decisions are made in deliver on the calling
+	// goroutine, keeping both engines bit-identical.
+	chaos *chaosState
 
 	// Worker pool, created lazily on the first parallel phase. Each worker
 	// owns a contiguous chunk of ranks and blocks on its own work channel;
@@ -108,6 +129,7 @@ type World struct {
 	barrier   sync.WaitGroup
 	stop      chan struct{}
 	closeOnce sync.Once
+	closed    bool
 }
 
 // NewWorld creates a world of p ranks with the given cost model.
@@ -132,6 +154,9 @@ func NewWorld(p int, model CostModel) *World {
 // caller-owned buffers: boxing a pointer does not allocate, and the runtime
 // never copies or retains payload contents beyond the receiving phase.
 func (w *World) Put(from, to int, tag Tag, bytes int, payload any) {
+	if w.closed {
+		panic(ErrClosed)
+	}
 	if to < 0 || to >= w.P {
 		panic(fmt.Sprintf("rma: Put target %d out of range (P=%d)", to, w.P))
 	}
@@ -158,6 +183,20 @@ func (w *World) Inbox(rank int) []Message {
 // touch rank p's state, and cross-rank data moves exclusively through Put
 // at the phase boundary.
 func (w *World) RunPhase(f func(rank int)) {
+	if w.closed {
+		panic(ErrClosed)
+	}
+	if ch := w.chaos; ch != nil && ch.markPaused(w.phases) {
+		// Paused ranks are descheduled for this phase: their function does
+		// not run, and deliver leaves their windows (inboxes) intact so
+		// landed one-sided writes stay readable until they next execute.
+		inner := f
+		f = func(p int) {
+			if !ch.pausedNow[p] {
+				inner(p)
+			}
+		}
+	}
 	if w.Parallel && w.P > 1 {
 		w.poolOnce.Do(w.startPool)
 		w.barrier.Add(len(w.workers))
@@ -208,9 +247,12 @@ func (w *World) startPool() {
 
 // Close releases the worker pool. It is safe to call multiple times and on
 // worlds that never ran a parallel phase. Close must not race with
-// RunPhase: call it only after the last phase has returned.
+// RunPhase: call it only after the last phase has returned. After Close,
+// Put and RunPhase panic with ErrClosed instead of hanging on the released
+// workers.
 func (w *World) Close() {
 	w.closeOnce.Do(func() {
+		w.closed = true
 		if w.stop != nil {
 			close(w.stop)
 		}
@@ -225,26 +267,70 @@ func (w *World) Close() {
 //
 // deliver is allocation-free at steady state: inboxes and staged slices
 // keep their capacity, and the landing counters are preallocated scratch.
+// With a fault plan installed it additionally holds back, duplicates, and
+// reorders landings, retains the windows of paused ranks, and applies
+// straggler multipliers to the cost model — all decided here, on the
+// calling goroutine, so both engines see the same schedule.
 func (w *World) deliver() {
+	ch := w.chaos
 	for p := range w.inbox {
+		if ch != nil && ch.pausedNow[p] {
+			// One-sided writes to a paused rank's window persist until the
+			// rank next runs an epoch and can actually read them.
+			ch.paused++
+			continue
+		}
 		in := w.inbox[p]
 		for i := range in {
 			in[i].Payload = nil // do not retain payloads past their phase
 		}
 		w.inbox[p] = in[:0]
 	}
+	if ch != nil {
+		for p := range w.inbox {
+			ch.batchStart[p] = len(w.inbox[p])
+		}
+		// Delayed messages whose boundary has come land first (they are
+		// the oldest traffic), in staging order.
+		for _, h := range ch.releaseDue(w.phases) {
+			w.land(h.m)
+		}
+	}
 	for from := 0; from < w.P; from++ {
 		st := w.staged[from]
 		for i := range st {
 			m := &st[i]
-			w.inbox[m.To] = append(w.inbox[m.To], *m)
-			w.recvMsgs[m.To]++
-			w.recvBytes[m.To] += int64(m.Bytes)
 			w.totalMsgs[m.Tag]++
 			w.totalBytes[m.Tag] += int64(m.Bytes)
+			if ch == nil {
+				w.land(*m)
+			} else if deliver, dup := ch.fault(m, w.phases); deliver {
+				w.land(*m)
+				if dup {
+					d := *m
+					d.Dup = true
+					w.land(d)
+				}
+			}
 			m.Payload = nil
 		}
 		w.staged[from] = st[:0]
+	}
+	if ch != nil && ch.plan.ReorderProb > 0 {
+		for p := range w.inbox {
+			batch := w.inbox[p][ch.batchStart[p]:]
+			if len(batch) < 2 {
+				continue
+			}
+			if ch.rng.float() >= ch.plan.ReorderProb {
+				continue
+			}
+			ch.reordered++
+			for i := len(batch) - 1; i > 0; i-- {
+				j := ch.rng.intn(i + 1)
+				batch[i], batch[j] = batch[j], batch[i]
+			}
+		}
 	}
 
 	maxCost := 0.0
@@ -252,6 +338,9 @@ func (w *World) deliver() {
 		h := float64(w.msgs[p] + w.recvMsgs[p])
 		hb := float64(w.bytes[p] + w.recvBytes[p])
 		cost := w.Model.Gamma*w.flops[p] + w.Model.Alpha*h + w.Model.Beta*hb
+		if ch != nil {
+			cost *= ch.slow[p]
+		}
 		if cost > maxCost {
 			maxCost = cost
 		}
@@ -263,6 +352,11 @@ func (w *World) deliver() {
 	}
 	w.simTime += maxCost
 	w.phases++
+	if ch != nil {
+		// Chaos delivery is intentionally not origin-ordered (delays and
+		// reordering are the point); skip the order normalization below.
+		return
+	}
 	// Origin order is already deterministic because delivery iterates
 	// senders in ascending rank order; verify the invariant cheaply and
 	// only pay for a sort if a future change breaks it.
@@ -277,6 +371,16 @@ func (w *World) deliver() {
 	}
 }
 
+// land appends one message to its target window and charges the landing
+// (the write occupies the target's NIC even though its CPU is not
+// involved).
+func (w *World) land(m Message) {
+	w.inbox[m.To] = append(w.inbox[m.To], m)
+	w.recvMsgs[m.To]++
+	w.recvBytes[m.To] += int64(m.Bytes)
+	w.delivered++
+}
+
 // Stats is the cumulative communication record of a world.
 type Stats struct {
 	SimTime    float64
@@ -285,6 +389,14 @@ type Stats struct {
 	ResMsgs    int64
 	SolveBytes int64
 	ResBytes   int64
+	// Delivered counts landings (including fault-injected duplicates);
+	// without faults it equals TotalMsgs once all messages have arrived.
+	Delivered int64
+	// Fault-injection counters, all zero without an installed plan.
+	DelayedMsgs      int64 // messages held back by the fault layer
+	DupMsgs          int64 // duplicate landings injected
+	ReorderedBatches int64 // delivery batches shuffled
+	PausedRankPhases int64 // rank-phases spent descheduled
 }
 
 // TotalMsgs returns all messages sent so far.
@@ -295,14 +407,22 @@ func (s Stats) CommCost(p int) float64 { return float64(s.TotalMsgs()) / float64
 
 // Stats returns a snapshot of the counters.
 func (w *World) Stats() Stats {
-	return Stats{
+	s := Stats{
 		SimTime:    w.simTime,
 		Phases:     w.phases,
 		SolveMsgs:  w.totalMsgs[TagSolve],
 		ResMsgs:    w.totalMsgs[TagResidual],
 		SolveBytes: w.totalBytes[TagSolve],
 		ResBytes:   w.totalBytes[TagResidual],
+		Delivered:  w.delivered,
 	}
+	if ch := w.chaos; ch != nil {
+		s.DelayedMsgs = ch.delayed
+		s.DupMsgs = ch.duped
+		s.ReorderedBatches = ch.reordered
+		s.PausedRankPhases = ch.paused
+	}
+	return s
 }
 
 // ResetStats zeroes the cumulative counters (e.g. between a setup phase and
@@ -310,8 +430,15 @@ func (w *World) Stats() Stats {
 func (w *World) ResetStats() {
 	w.simTime = 0
 	w.phases = 0
+	w.delivered = 0
 	for t := Tag(0); t < numTags; t++ {
 		w.totalMsgs[t] = 0
 		w.totalBytes[t] = 0
+	}
+	if ch := w.chaos; ch != nil {
+		ch.delayed = 0
+		ch.duped = 0
+		ch.reordered = 0
+		ch.paused = 0
 	}
 }
