@@ -16,10 +16,13 @@ vet:
 	$(GO) vet ./...
 
 # Static checks beyond vet that need no external tools: formatting drift
-# fails the build (gofmt prints nothing when clean).
+# fails the build (gofmt prints nothing when clean), then the project's own
+# determinism/fault-safety analyzers (cmd/dslint) run over the whole module.
+# dslint prints one file:line:col per finding and exits non-zero on any.
 lint: vet
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+	$(GO) run ./cmd/dslint ./...
 
 # The engine-equivalence, chaos-determinism, and pool tests under the race
 # detector: together they prove the worker-pool engine is race-free and

@@ -1,0 +1,74 @@
+// dslint machine-checks the repo's determinism and fault-safety
+// invariants: the project-specific rules that no generic linter knows
+// (DESIGN.md §8). It is a multichecker in the style of
+// golang.org/x/tools/go/analysis, built on the repo's offline analysis
+// framework (internal/analysis/framework).
+//
+// Usage:
+//
+//	go run ./cmd/dslint [-help] [packages]
+//
+// Packages default to ./.... Each finding prints as
+// file:line:col: analyzer: message; the exit status is 1 when there are
+// findings, 2 when loading or analysis itself failed, 0 when clean.
+// Intentional violations are suppressed in source with
+// //dslint:ignore <analyzer> comments carrying a justification.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"southwell/internal/analysis/framework"
+	"southwell/internal/analysis/registry"
+)
+
+func main() {
+	help := flag.Bool("help", false, "print the analyzer descriptions and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: dslint [-help] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Machine-checks the simulator's determinism and fault-safety invariants.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *help {
+		for _, a := range registry.Analyzers() {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	os.Exit(lint(flag.Args(), os.Stdout, os.Stderr))
+}
+
+// lint runs every registered analyzer over the patterns and prints
+// findings; it returns the process exit status.
+func lint(patterns []string, out, errOut *os.File) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := framework.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(errOut, "dslint: %v\n", err)
+		return 2
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		for _, a := range registry.Analyzers() {
+			diags, err := framework.Run(a, pkg)
+			if err != nil {
+				fmt.Fprintf(errOut, "dslint: %v\n", err)
+				return 2
+			}
+			for _, d := range diags {
+				fmt.Fprintln(out, d)
+				findings++
+			}
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(errOut, "dslint: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"southwell/internal/analysis/registry"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range registry.Analyzers() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q is incomplete", a.Name)
+		}
+		if names[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		names[a.Name] = true
+	}
+	for _, want := range []string{"detrand", "maporder", "clonerheld", "phaseabsorb", "floatcmp"} {
+		if !names[want] {
+			t.Errorf("registry is missing analyzer %q", want)
+		}
+	}
+}
+
+func TestLintCleanPackage(t *testing.T) {
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	if code := lint([]string{"southwell/internal/analysis/lintutil"}, null, null); code != 0 {
+		t.Fatalf("lint on a clean package exited %d, want 0", code)
+	}
+	if code := lint([]string{"southwell/internal/no/such/package"}, null, null); code != 2 {
+		t.Fatalf("lint on a bogus pattern exited %d, want 2", code)
+	}
+}

@@ -1,0 +1,68 @@
+// Package clonerheld flags payloads sent through rma.World.Put whose type
+// holds references (pointers, slices, maps) but does not implement
+// rma.Cloner.
+//
+// This is exactly the buffer-reuse bug class PR 2's sweep fixed: senders
+// keep persistent per-neighbor payload buffers and rewrite them on their
+// next relaxation, which is safe on a perfect network (the receiver reads
+// in the very next phase) but not under fault injection — a delayed
+// delivery is held past the phase boundary, and unless the fault layer can
+// deep-copy the payload via Cloner.CloneMessage, the held message aliases
+// storage the sender has since rewritten. Scalar payloads (and structs of
+// scalars) are copied by value into the Message and need no Cloner.
+package clonerheld
+
+import (
+	"go/ast"
+	"go/types"
+
+	"southwell/internal/analysis/framework"
+	"southwell/internal/analysis/lintutil"
+)
+
+// Analyzer is the clonerheld check.
+var Analyzer = &framework.Analyzer{
+	Name: "clonerheld",
+	Doc: "flag World.Put payloads with pointer/slice/map contents that do not implement rma.Cloner " +
+		"(the fault layer would hold aliased storage past its phase)",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := lintutil.WorldMethod(pass.TypesInfo, call, "Put")
+			if fn == nil {
+				return true
+			}
+			cloner := lintutil.ClonerInterface(fn.Pkg())
+			if cloner == nil {
+				return true
+			}
+			arg := call.Args[len(call.Args)-1] // Put(from, to, tag, bytes, payload)
+			tv := pass.TypesInfo.Types[arg]
+			if tv.Type == nil || tv.IsNil() {
+				return true
+			}
+			t := tv.Type
+			if _, isIface := t.Underlying().(*types.Interface); isIface {
+				return true // dynamic type unknown; nothing to prove here
+			}
+			if !lintutil.HoldsReferences(t) {
+				return true
+			}
+			if types.Implements(t, cloner) || types.Implements(types.NewPointer(t), cloner) {
+				return true
+			}
+			pass.Reportf(arg.Pos(),
+				"payload type %s sent through rma.World.Put holds references but does not implement rma.Cloner; a fault-delayed delivery would alias the sender's reused buffers",
+				types.TypeString(t, types.RelativeTo(pass.Pkg)))
+			return true
+		})
+	}
+	return nil
+}

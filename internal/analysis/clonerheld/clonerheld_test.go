@@ -1,0 +1,14 @@
+package clonerheld_test
+
+import (
+	"testing"
+
+	"southwell/internal/analysis/analysistest"
+	"southwell/internal/analysis/clonerheld"
+)
+
+func TestClonerheld(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), clonerheld.Analyzer,
+		"a",
+	)
+}

@@ -1,0 +1,17 @@
+// Fixture: a miniature of the real rma runtime — World.Put plus the
+// Cloner interface the fault layer uses to deep-copy held payloads.
+package rma
+
+// Tag classifies a message.
+type Tag int
+
+// Cloner lets the fault layer deep-copy a payload held past its phase.
+type Cloner interface {
+	CloneMessage() any
+}
+
+// World is the mini runtime.
+type World struct{ P int }
+
+// Put stages a one-sided write of payload into the window of rank to.
+func (w *World) Put(from, to int, tag Tag, bytes int, payload any) {}

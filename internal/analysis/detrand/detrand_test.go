@@ -1,0 +1,15 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"southwell/internal/analysis/analysistest"
+	"southwell/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detrand.Analyzer,
+		"internal/rma", // deterministic package: violations flagged
+		"other",        // out of scope: same calls, no diagnostics
+	)
+}

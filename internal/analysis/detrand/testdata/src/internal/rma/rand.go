@@ -1,0 +1,45 @@
+// Fixture: a deterministic package (path suffix internal/rma) using both
+// legal seeded randomness and the forbidden global state.
+package rma
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Seeded construction is the required idiom: allowed.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// drawOK threads the caller-seeded generator: allowed.
+func drawOK(rng *rand.Rand, n int) int {
+	return rng.Intn(n)
+}
+
+func drawBad(n int) int {
+	return rand.Intn(n) // want `global math/rand state \(rand\.Intn\)`
+}
+
+func shuffleBad(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want `global math/rand state \(rand\.Shuffle\)`
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+func seedBad() {
+	rand.Seed(42) // want `global math/rand state \(rand\.Seed\)`
+}
+
+func clockBad() int64 {
+	return time.Now().UnixNano() // want `wall-clock dependence \(time\.Now\)`
+}
+
+func timerBad(d time.Duration) {
+	<-time.After(d) // want `wall-clock dependence \(time\.After\)`
+}
+
+// Duration arithmetic and type references do not read the clock: allowed.
+func durationOK(d time.Duration) time.Duration {
+	return 2 * d
+}

@@ -1,0 +1,16 @@
+// Fixture: a package outside the deterministic set — the same calls
+// produce no diagnostics here.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano()
+}
+
+func globalDraw(n int) int {
+	return rand.Intn(n)
+}

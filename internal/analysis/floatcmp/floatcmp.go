@@ -1,0 +1,78 @@
+// Package floatcmp flags exact floating-point equality comparisons
+// (== and != on float operands) outside test files.
+//
+// Residual norms and Γ/Γ̃ estimates are the quantities every method in this
+// repo branches on; comparing them exactly is almost always a bug that
+// manifests as a missed relaxation or a spurious explicit update. Two
+// idioms remain legal: comparison against an exact constant zero (zero is
+// exactly representable and is the "converged/unset" sentinel throughout
+// the solvers) and the self-comparison NaN test x != x. The handful of
+// intentional exact comparisons — the Parallel Southwell tie-break and the
+// Γ̃ exactness invariant, where bit-equality is the specified semantics —
+// carry //dslint:ignore floatcmp directives with their justification.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"southwell/internal/analysis/framework"
+	"southwell/internal/analysis/lintutil"
+)
+
+// Analyzer is the floatcmp check.
+var Analyzer = &framework.Analyzer{
+	Name: "floatcmp",
+	Doc: "flag == and != on floating-point operands outside tests " +
+		"(exact-zero comparisons and x != x NaN tests are allowed)",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt := pass.TypesInfo.Types[be.X]
+			yt := pass.TypesInfo.Types[be.Y]
+			if xt.Type == nil || yt.Type == nil {
+				return true
+			}
+			if !lintutil.IsFloat(xt.Type) && !lintutil.IsFloat(yt.Type) {
+				return true
+			}
+			if isZero(xt) || isZero(yt) {
+				return true
+			}
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				return true // x != x: the portable NaN test
+			}
+			pass.Reportf(be.Pos(),
+				"exact floating-point comparison %s %s %s; compare against a tolerance, or annotate an intentional bit-exact comparison with //dslint:ignore floatcmp",
+				types.ExprString(be.X), be.Op, types.ExprString(be.Y))
+			return true
+		})
+	}
+	return nil
+}
+
+// isZero reports whether the expression is a compile-time constant equal to
+// exactly zero.
+func isZero(tv types.TypeAndValue) bool {
+	if tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"southwell/internal/analysis/analysistest"
+	"southwell/internal/analysis/floatcmp"
+)
+
+func TestFloatcmp(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), floatcmp.Analyzer,
+		"a",
+	)
+}

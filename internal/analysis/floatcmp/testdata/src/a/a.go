@@ -1,0 +1,58 @@
+// Fixture: floating-point comparison shapes from the solver code paths.
+package a
+
+import "math"
+
+func norms(a, b []float64) (float64, float64) {
+	na, nb := 0.0, 0.0
+	for _, v := range a {
+		na += v * v
+	}
+	for _, v := range b {
+		nb += v * v
+	}
+	return math.Sqrt(na), math.Sqrt(nb)
+}
+
+func compare(na, nb float64) bool {
+	return na == nb // want `exact floating-point comparison na == nb`
+}
+
+func tieBreak(np float64, p int, nq float64, q int) bool {
+	if np != nq { // want `exact floating-point comparison np != nq`
+		return np > nq
+	}
+	return p < q
+}
+
+// Exact tie-break semantics, justified and suppressed.
+func tieBreakIgnored(np float64, p int, nq float64, q int) bool {
+	if np != nq { //dslint:ignore floatcmp — both sides evaluate the same pair
+		return np > nq
+	}
+	return p < q
+}
+
+// Zero is exactly representable: the converged/unset sentinel is legal.
+func converged(norm float64) bool {
+	return norm == 0
+}
+
+func zeroFloat(norm float64) bool {
+	return 0.0 == norm
+}
+
+// The portable NaN test compares a value with itself: legal.
+func isNaN(x float64) bool {
+	return x != x
+}
+
+// Integer comparisons are out of scope.
+func intEq(a, b int) bool {
+	return a == b
+}
+
+// Mixed float comparison against a nonzero constant is still exact.
+func against(x float64) bool {
+	return x == 0.5 // want `exact floating-point comparison x == 0\.5`
+}

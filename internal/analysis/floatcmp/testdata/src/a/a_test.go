@@ -1,0 +1,7 @@
+// Fixture: test files are exempt — exact comparisons assert bit-identical
+// reproducibility throughout the real test suites.
+package a
+
+func exactInTest(got, want float64) bool {
+	return got == want
+}

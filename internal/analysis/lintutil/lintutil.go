@@ -1,0 +1,143 @@
+// Package lintutil holds the project policy and type-inspection helpers
+// shared by the dslint analyzers: which packages must be deterministic,
+// what counts as a method on the simulated RMA runtime, and which payload
+// types hold references that the fault layer could alias.
+package lintutil
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DeterministicPkgs lists the packages whose runs must be bit-reproducible
+// from explicit seeds (DESIGN.md §6, §8): the simulator, the distributed
+// methods, the benchmark harness, and everything that feeds them inputs.
+// Matching is by path suffix so the list covers both the real module paths
+// (southwell/internal/rma) and analyzer test fixtures (internal/rma).
+var DeterministicPkgs = []string{
+	"internal/rma",
+	"internal/dmem",
+	"internal/bench",
+	"internal/solvers",
+	"internal/partition",
+	"internal/problem",
+}
+
+// MapOrderPkgs lists the packages where map iteration order can leak into
+// message schedules or index layouts and must therefore be sorted.
+var MapOrderPkgs = []string{
+	"internal/rma",
+	"internal/dmem",
+}
+
+// MatchAny reports whether pkgPath equals one of the patterns or ends with
+// "/"+pattern (module-prefixed paths).
+func MatchAny(pkgPath string, patterns []string) bool {
+	for _, pat := range patterns {
+		if pkgPath == pat || strings.HasSuffix(pkgPath, "/"+pat) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsDeterministic reports whether pkgPath must be free of unseeded
+// randomness and wall-clock reads.
+func IsDeterministic(pkgPath string) bool {
+	return MatchAny(pkgPath, DeterministicPkgs)
+}
+
+// WorldMethod returns the *types.Func when call invokes the named method on
+// rma.World (package identified by name "rma" so fixtures with a mini rma
+// package exercise the same code path), and nil otherwise.
+func WorldMethod(info *types.Info, call *ast.CallExpr, name string) *types.Func {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != name {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Name() != "World" {
+		return nil
+	}
+	if pkg := named.Obj().Pkg(); pkg == nil || pkg.Name() != "rma" {
+		return nil
+	}
+	return fn
+}
+
+// ClonerInterface looks up the Cloner interface in the package that defines
+// rma.World (the real runtime or a fixture's mini rma).
+func ClonerInterface(pkg *types.Package) *types.Interface {
+	obj, ok := pkg.Scope().Lookup("Cloner").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// HoldsReferences reports whether t contains any pointer, slice, map, or
+// channel at any depth — storage a retained payload would share with its
+// sender. Scalars, strings, and arrays/structs of them are safely copied
+// by value into a Message.
+func HoldsReferences(t types.Type) bool {
+	return holdsRefs(t, map[types.Type]bool{})
+}
+
+func holdsRefs(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature:
+		return true
+	case *types.Array:
+		return holdsRefs(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if holdsRefs(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// IsFloat reports whether t's underlying type is a floating-point basic
+// type (including untyped float constants).
+func IsFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// PkgQualified resolves sel to (package path, object) when sel is a
+// package-qualified reference like rand.Intn; ok is false for field and
+// method selections.
+func PkgQualified(info *types.Info, sel *ast.SelectorExpr) (string, types.Object, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", nil, false
+	}
+	if _, isPkg := info.Uses[id].(*types.PkgName); !isPkg {
+		return "", nil, false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return "", nil, false
+	}
+	return obj.Pkg().Path(), obj, true
+}

@@ -1,0 +1,23 @@
+package lintutil
+
+import "testing"
+
+func TestMatchAny(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"southwell/internal/rma", true},
+		{"internal/rma", true},
+		{"southwell/internal/dmem", true},
+		{"southwell/internal/sparse", false},
+		{"southwell/internal/analysis/detrand", false},
+		{"myinternal/rma", false}, // suffix must start at a path boundary
+		{"other", false},
+	}
+	for _, c := range cases {
+		if got := IsDeterministic(c.path); got != c.want {
+			t.Errorf("IsDeterministic(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

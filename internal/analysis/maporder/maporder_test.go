@@ -1,0 +1,14 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"southwell/internal/analysis/analysistest"
+	"southwell/internal/analysis/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), maporder.Analyzer,
+		"internal/dmem",
+	)
+}

@@ -1,0 +1,12 @@
+// Fixture: a miniature of the real rma runtime, just enough surface for
+// the maporder Put case.
+package rma
+
+// Tag classifies a message.
+type Tag int
+
+// World is the mini runtime.
+type World struct{ P int }
+
+// Put stages a one-sided write.
+func (w *World) Put(from, to int, tag Tag, bytes int, payload any) {}

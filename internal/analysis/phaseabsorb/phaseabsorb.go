@@ -1,0 +1,148 @@
+// Package phaseabsorb flags step loops that run simulator phases without
+// draining the rank windows in the same iteration.
+//
+// Every dmem method must absorb its inbox each phase: residual deltas are
+// additive and commute under reordering, so the methods stay exact under
+// fault injection only if every landed message is read before the next
+// decision (paper §3; DESIGN.md §8). A RunPhase call inside a step loop
+// whose phase function never reads World.Inbox — directly or through a
+// local absorb closure — leaves landed deltas unread for a full step,
+// silently desynchronizing the Γ/Γ̃ bookkeeping. Setup phases outside
+// loops are exempt (initial exchanges legitimately precede any inbox).
+package phaseabsorb
+
+import (
+	"go/ast"
+	"go/types"
+
+	"southwell/internal/analysis/framework"
+	"southwell/internal/analysis/lintutil"
+)
+
+// Analyzer is the phaseabsorb check.
+var Analyzer = &framework.Analyzer{
+	Name: "phaseabsorb",
+	Doc: "flag RunPhase calls in step loops whose phase function never drains " +
+		"the inbox (World.Inbox) in the same iteration",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		draining := drainingFuncs(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			ast.Inspect(body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok || lintutil.WorldMethod(pass.TypesInfo, call, "RunPhase") == nil {
+					return true
+				}
+				if len(call.Args) == 1 && phaseDrains(pass, call.Args[0], draining) {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"RunPhase in a step loop with a phase function that never drains the inbox; absorb World.Inbox in the same iteration so residual deltas stay exact")
+				return true
+			})
+			return true
+		})
+	}
+	return nil
+}
+
+// phaseDrains reports whether the phase-function argument drains the
+// inbox: a func literal that reads Inbox or calls a draining function, or
+// an identifier bound to one.
+func phaseDrains(pass *framework.Pass, arg ast.Expr, draining map[types.Object]bool) bool {
+	switch a := arg.(type) {
+	case *ast.FuncLit:
+		return drains(pass, a.Body, draining)
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[a]; obj != nil {
+			return draining[obj]
+		}
+	}
+	return false
+}
+
+// drainingFuncs collects the objects of functions whose bodies drain the
+// inbox, iterating to a fixed point so closures that delegate to other
+// draining closures are recognized.
+func drainingFuncs(pass *framework.Pass, f *ast.File) map[types.Object]bool {
+	type binding struct {
+		obj  types.Object
+		body *ast.BlockStmt
+	}
+	var bindings []binding
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range d.Rhs {
+				lit, ok := rhs.(*ast.FuncLit)
+				if !ok || i >= len(d.Lhs) {
+					continue
+				}
+				if id, ok := d.Lhs[i].(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						bindings = append(bindings, binding{obj, lit.Body})
+					} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+						bindings = append(bindings, binding{obj, lit.Body})
+					}
+				}
+			}
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				if obj := pass.TypesInfo.Defs[d.Name]; obj != nil {
+					bindings = append(bindings, binding{obj, d.Body})
+				}
+			}
+		}
+		return true
+	})
+	draining := map[types.Object]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range bindings {
+			if !draining[b.obj] && drains(pass, b.body, draining) {
+				draining[b.obj] = true
+				changed = true
+			}
+		}
+	}
+	return draining
+}
+
+// drains reports whether node contains a World.Inbox read or a call to a
+// known draining function.
+func drains(pass *framework.Pass, node ast.Node, draining map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if lintutil.WorldMethod(pass.TypesInfo, call, "Inbox") != nil {
+			found = true
+			return false
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && draining[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

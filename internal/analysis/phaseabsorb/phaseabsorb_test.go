@@ -1,0 +1,14 @@
+package phaseabsorb_test
+
+import (
+	"testing"
+
+	"southwell/internal/analysis/analysistest"
+	"southwell/internal/analysis/phaseabsorb"
+)
+
+func TestPhaseabsorb(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), phaseabsorb.Analyzer,
+		"a",
+	)
+}

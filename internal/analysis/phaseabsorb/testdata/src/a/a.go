@@ -1,0 +1,78 @@
+// Fixture: step-loop shapes mirroring the real dmem methods (a three-phase
+// Distributed Southwell-style loop) plus the violation shapes.
+package a
+
+import "internal/rma"
+
+// threePhase mirrors distsw.go: every phase drains through the absorb
+// closure, directly or by name.
+func threePhase(w *rma.World, steps int) {
+	total := 0
+	absorb := func(p int) {
+		for _, m := range w.Inbox(p) {
+			_ = m
+			total++
+		}
+	}
+	for step := 0; step < steps; step++ {
+		w.RunPhase(func(p int) {
+			absorb(p)
+			// relax, write updates ...
+		})
+		w.RunPhase(func(p int) {
+			absorb(p)
+			// deadlock-risk detection ...
+		})
+		w.RunPhase(absorb)
+	}
+}
+
+// delegated drains through a closure that calls another draining closure.
+func delegated(w *rma.World, steps int) {
+	absorb := func(p int) {
+		_ = w.Inbox(p)
+	}
+	absorbAndCount := func(p int) {
+		absorb(p)
+	}
+	for step := 0; step < steps; step++ {
+		w.RunPhase(absorbAndCount)
+	}
+}
+
+// inlineDrain reads the inbox directly in the phase function.
+func inlineDrain(w *rma.World, steps int) {
+	for step := 0; step < steps; step++ {
+		w.RunPhase(func(p int) {
+			for _, m := range w.Inbox(p) {
+				_ = m
+			}
+		})
+	}
+}
+
+// setupPhase runs outside any loop: initial exchanges legitimately precede
+// any inbox, so no diagnostic.
+func setupPhase(w *rma.World) {
+	w.RunPhase(func(p int) {
+		// initial exchange; nothing to read yet
+	})
+}
+
+// leaky never reads the inbox inside the loop: landed deltas go unread for
+// a full step.
+func leaky(w *rma.World, steps int) {
+	for step := 0; step < steps; step++ {
+		w.RunPhase(func(p int) { // want `RunPhase in a step loop with a phase function that never drains the inbox`
+			// relax without absorbing
+		})
+	}
+}
+
+// leakyIdent passes a non-draining function by name.
+func leakyIdent(w *rma.World, steps int) {
+	relaxOnly := func(p int) {}
+	for step := 0; step < steps; step++ {
+		w.RunPhase(relaxOnly) // want `RunPhase in a step loop with a phase function that never drains the inbox`
+	}
+}

@@ -1,0 +1,24 @@
+// Package registry enumerates the dslint analyzers, in the order their
+// diagnostics are reported. cmd/dslint and the suite tests share it so a
+// new analyzer registers in exactly one place.
+package registry
+
+import (
+	"southwell/internal/analysis/clonerheld"
+	"southwell/internal/analysis/detrand"
+	"southwell/internal/analysis/floatcmp"
+	"southwell/internal/analysis/framework"
+	"southwell/internal/analysis/maporder"
+	"southwell/internal/analysis/phaseabsorb"
+)
+
+// Analyzers returns the full dslint suite.
+func Analyzers() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		detrand.Analyzer,
+		maporder.Analyzer,
+		clonerheld.Analyzer,
+		phaseabsorb.Analyzer,
+		floatcmp.Analyzer,
+	}
+}

@@ -452,7 +452,10 @@ func sqrtNonNeg(v float64) float64 {
 // breaking (DESIGN.md §5): the relaxed set stays independent under exact
 // norms, and at least one rank always qualifies.
 func winsOver(np float64, p int, nq float64, q int) bool {
-	if np != nq {
+	// Bit-exact by design: both ranks evaluate the same pair, so the
+	// tie-break must agree exactly or the relaxed set loses independence.
+	if np != nq { //dslint:ignore floatcmp
+
 		return np > nq
 	}
 	return p < q

@@ -136,7 +136,11 @@ func ParallelSouthwell(l *Layout, b, x []float64, cfg Config) *Result {
 		w.RunPhase(func(p int) {
 			absorb(p)
 			rs := states[p]
-			if rs.norm != rs.lastTold {
+			// Bit-exact by design: any change at all to the norm since the
+			// last announcement must be broadcast (Algorithm 2, line 20) —
+			// a tolerance here would let stale Γ entries persist.
+			if rs.norm != rs.lastTold { //dslint:ignore floatcmp
+
 				rs.lastTold = rs.norm
 				resPl[p].norm = rs.norm
 				resPl[p].seq = 2*int64(step) + 1

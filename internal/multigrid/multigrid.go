@@ -69,7 +69,10 @@ type DistSW struct {
 
 // Name implements Smoother.
 func (s DistSW) Name() string {
-	if s.SweepFraction != 0 && s.SweepFraction != 1 {
+	// Exact sentinel values: 0 (default) and 1 are assigned literals, never
+	// computed.
+	if s.SweepFraction != 0 && s.SweepFraction != 1 { //dslint:ignore floatcmp
+
 		return fmt.Sprintf("Dist SW %g sweep", s.SweepFraction)
 	}
 	return "Dist SW"

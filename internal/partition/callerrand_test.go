@@ -1,0 +1,29 @@
+package partition
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"southwell/internal/problem"
+)
+
+// TestCallerSeededRand pins the caller-seeded contract: passing an explicit
+// *rand.Rand seeded with Seed+1 must reproduce the Seed-derived partition
+// bit for bit, and the partitioner must consume from the stream
+// deterministically (two identically seeded streams give equal partitions).
+func TestCallerSeededRand(t *testing.T) {
+	a := problem.Poisson2D(20, 20)
+
+	bySeed := Partition(a, 6, Options{Seed: 7})
+	byRand := Partition(a, 6, Options{Rand: rand.New(rand.NewSource(7 + 1))})
+	if !reflect.DeepEqual(bySeed, byRand) {
+		t.Fatalf("Options.Rand with the Seed-derived stream diverges from Options.Seed")
+	}
+
+	r1 := Partition(a, 6, Options{Rand: rand.New(rand.NewSource(99))})
+	r2 := Partition(a, 6, Options{Rand: rand.New(rand.NewSource(99))})
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("identically seeded caller streams give different partitions")
+	}
+}

@@ -64,6 +64,20 @@ type Options struct {
 	RefinePasses int
 	// Seed drives the randomized matching order.
 	Seed int64
+	// Rand, when non-nil, supplies the matching-order stream directly
+	// instead of one derived from Seed, letting a caller thread a single
+	// explicitly seeded stream through partitioning and later randomized
+	// stages. The partitioner consumes from it deterministically.
+	Rand *rand.Rand
+}
+
+// rng returns the caller-provided stream, or one seeded from Seed. The +1
+// keeps the derived stream distinct from other Seed consumers in a run.
+func (o Options) rng() *rand.Rand {
+	if o.Rand != nil {
+		return o.Rand
+	}
+	return rand.New(rand.NewSource(o.Seed + 1))
 }
 
 func (o Options) withDefaults() Options {
@@ -97,7 +111,7 @@ func Partition(a *sparse.CSR, k int, opts Options) []int {
 	for i := range verts {
 		verts[i] = i
 	}
-	rng := rand.New(rand.NewSource(opts.Seed + 1))
+	rng := opts.rng()
 	recursiveBisect(g, verts, k, 0, part, opts, rng)
 	return part
 }

@@ -44,7 +44,10 @@ func SequentialSouthwell(a *sparse.CSR, b, x []float64, opt Options) *Trace {
 // maximal, with exact ties broken toward the lower index so that the
 // relaxed set stays independent and at least one row always qualifies.
 func winsOver(ri float64, i int, rj float64, j int) bool {
-	if ri != rj {
+	// Bit-exact by design: both rows evaluate the same pair, so the
+	// tie-break must agree exactly or the relaxed set loses independence.
+	if ri != rj { //dslint:ignore floatcmp
+
 		return ri > rj
 	}
 	return i < j
