@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race chaos-smoke verify bench clean
+.PHONY: build test vet lint race chaos-smoke bench-kernels verify bench clean
 
 build:
 	$(GO) build ./...
@@ -24,11 +24,12 @@ lint: vet
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 	$(GO) run ./cmd/dslint ./...
 
-# The engine-equivalence, chaos-determinism, and pool tests under the race
-# detector: together they prove the worker-pool engine is race-free and
-# bit-identical to the sequential engine, faults included (DESIGN.md §6).
+# The engine-equivalence, chaos-determinism, pool, and parallel-kernel
+# tests under the race detector: together they prove the worker pools are
+# race-free and bit-identical to their sequential forms, faults included
+# (DESIGN.md §6, §9).
 race:
-	$(GO) test -race ./internal/rma/... ./internal/dmem/...
+	$(GO) test -race ./internal/rma/... ./internal/dmem/... ./internal/parallel/... ./internal/sparse/...
 
 # End-to-end fault-injection smoke: both binaries on a small problem with
 # delay faults. Exercises flag validation, the chaos table, and the
@@ -37,12 +38,20 @@ chaos-smoke: build
 	$(GO) run ./cmd/dsouthwell -grid 40 -n 16 -sweep_max 15 -chaos 0.3 >/dev/null
 	$(GO) run ./cmd/benchtables -quick -ranks 32 -steps 40 -par 4 chaos >/dev/null
 
-verify: build lint test race chaos-smoke
+# Kernel smoke: the allocs/op regression gate against BENCH_kernels.json
+# plus one iteration of each kernel benchmark, so a steady-state allocation
+# or an outright kernel breakage fails verify without a long bench run.
+bench-kernels:
+	$(GO) test -run 'TestKernelAllocGate' ./internal/sparse/
+	$(GO) test -bench 'BenchmarkKernels' -benchtime 1x -run '^$$' ./internal/sparse/ >/dev/null
 
-# Micro-benchmarks for the phase engine and message path (see BENCH_rma.json
-# for recorded baselines).
+verify: build lint test race chaos-smoke bench-kernels
+
+# Micro-benchmarks for the phase engine, message path, and numerical
+# kernels (see BENCH_rma.json and BENCH_kernels.json for recorded
+# baselines).
 bench:
-	$(GO) test -bench . -benchmem -run '^$$' ./internal/rma/ ./internal/dmem/ ./internal/bench/
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/rma/ ./internal/dmem/ ./internal/bench/ ./internal/sparse/
 
 clean:
 	$(GO) clean ./...

@@ -35,6 +35,7 @@ import (
 	"runtime/pprof"
 
 	"southwell/internal/bench"
+	"southwell/internal/parallel"
 	"southwell/internal/rma"
 )
 
@@ -58,7 +59,10 @@ var experiments = []struct {
 
 // validate rejects nonsensical flag combinations before any experiment
 // starts, so misuse fails with one line instead of a deep panic.
-func validate(ranks, steps, par int, chaos float64) error {
+func validate(ranks, steps, par, kernelWorkers int, chaos float64) error {
+	if kernelWorkers < 0 {
+		return fmt.Errorf("-kernel-workers %d: must be >= 1 (or 0 for GOMAXPROCS)", kernelWorkers)
+	}
 	if ranks < 0 {
 		return fmt.Errorf("-ranks %d: must be >= 1 (or 0 for the default)", ranks)
 	}
@@ -81,6 +85,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "initial-guess and partition seed")
 	outDir := flag.String("out", "", "write one file per experiment into this directory")
 	par := flag.Int("par", runtime.GOMAXPROCS(0), "max concurrent suite runs (1 = sequential)")
+	kernelWorkers := flag.Int("kernel-workers", 0, "workers for the shared numerical-kernel pool; results are identical for every value (0 = SOUTHWELL_KERNEL_WORKERS env or GOMAXPROCS, 1 = sequential kernels)")
 	goroutines := flag.Bool("goroutines", false, "run simulated worlds on the rma worker-pool engine")
 	chaos := flag.Float64("chaos", 0, "inject delay faults into every run: per-message probability of a 1-3 phase delivery delay (0 = perfect network)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injection seed (chaos runs are bit-reproducible per seed)")
@@ -88,9 +93,12 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write pprof heap profile to this file on exit")
 	flag.Parse()
 
-	if err := validate(*ranks, *steps, *par, *chaos); err != nil {
+	if err := validate(*ranks, *steps, *par, *kernelWorkers, *chaos); err != nil {
 		fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
 		os.Exit(2)
+	}
+	if *kernelWorkers > 0 {
+		parallel.SetDefaultWorkers(*kernelWorkers)
 	}
 
 	if *cpuProfile != "" {

@@ -9,18 +9,19 @@ import (
 
 func TestValidateRejectsBadFlags(t *testing.T) {
 	cases := []struct {
-		ranks, steps, par int
-		chaos             float64
-		want              string
+		ranks, steps, par, kw int
+		chaos                 float64
+		want                  string
 	}{
 		{ranks: -1, want: "-ranks"},
 		{steps: -5, want: "-steps"},
 		{par: -2, want: "-par"},
+		{kw: -1, want: "-kernel-workers"},
 		{chaos: -0.5, want: "-chaos"},
 		{chaos: 2, want: "-chaos"},
 	}
 	for _, tc := range cases {
-		err := validate(tc.ranks, tc.steps, tc.par, tc.chaos)
+		err := validate(tc.ranks, tc.steps, tc.par, tc.kw, tc.chaos)
 		if err == nil {
 			t.Errorf("validate(%d,%d,%d,%g): accepted", tc.ranks, tc.steps, tc.par, tc.chaos)
 			continue
@@ -36,14 +37,14 @@ func TestValidateRejectsBadFlags(t *testing.T) {
 
 func TestValidateAcceptsGoodFlags(t *testing.T) {
 	for _, tc := range []struct {
-		ranks, steps, par int
-		chaos             float64
+		ranks, steps, par, kw int
+		chaos                 float64
 	}{
-		{},                   // all defaults
-		{256, 120, 8, 0.5},   // typical explicit run
-		{ranks: 1, chaos: 1}, // boundary values
+		{},                          // all defaults
+		{256, 120, 8, 4, 0.5},       // typical explicit run
+		{ranks: 1, kw: 1, chaos: 1}, // boundary values
 	} {
-		if err := validate(tc.ranks, tc.steps, tc.par, tc.chaos); err != nil {
+		if err := validate(tc.ranks, tc.steps, tc.par, tc.kw, tc.chaos); err != nil {
 			t.Errorf("validate(%d,%d,%d,%g): %v", tc.ranks, tc.steps, tc.par, tc.chaos, err)
 		}
 	}

@@ -20,6 +20,7 @@ import (
 
 	"southwell/internal/core"
 	"southwell/internal/dmem"
+	kernpool "southwell/internal/parallel"
 	"southwell/internal/problem"
 	"southwell/internal/rma"
 	"southwell/internal/sparse"
@@ -84,6 +85,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		parallel = flag.Bool("goroutines", false, "alias for -par (kept for artifact compatibility)")
 		par      = flag.Bool("par", false, "run simulated ranks on the persistent worker-pool engine")
+		kernWkrs = flag.Int("kernel-workers", 0, "workers for the shared numerical-kernel pool; results are identical for every value (0 = SOUTHWELL_KERNEL_WORKERS env or GOMAXPROCS, 1 = sequential kernels)")
 		grid     = flag.Int("grid", 100, "grid dimension for the default Laplace problem")
 		chaos    = flag.Float64("chaos", 0, "inject delay faults: per-message probability of a 1-3 phase delivery delay (0 = perfect network)")
 		chaosSd  = flag.Int64("chaos-seed", 1, "fault-injection seed (chaos runs are bit-reproducible per seed)")
@@ -96,6 +98,13 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dsouthwell: %v\n", err)
 		os.Exit(2)
+	}
+	if *kernWkrs < 0 {
+		fmt.Fprintf(os.Stderr, "dsouthwell: -kernel-workers %d: must be >= 1 (or 0 for GOMAXPROCS)\n", *kernWkrs)
+		os.Exit(2)
+	}
+	if *kernWkrs > 0 {
+		kernpool.SetDefaultWorkers(*kernWkrs)
 	}
 
 	if *cpuProf != "" {

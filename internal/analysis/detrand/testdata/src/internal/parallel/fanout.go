@@ -1,0 +1,62 @@
+// Fixture: goroutine fan-out shapes of a worker-pool kernel layer, in the
+// detrand scope (path suffix internal/parallel). Work distribution must
+// come from deterministic counters, never from the global PRNG or clock.
+package parallel
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// fanOutCounter claims blocks with an atomic counter: the legal idiom
+// (dynamic scheduling is fine when block outputs are position-addressed).
+func fanOutCounter(workers, nblocks int, f func(int)) {
+	var next atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= nblocks {
+					return
+				}
+				f(b)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// fanOutRandom steals a random block per iteration from the global PRNG:
+// the schedule (and any order-sensitive consumer) varies run to run.
+func fanOutRandom(workers, nblocks int, f func(int)) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f(rand.Intn(nblocks)) // want `global math/rand state \(rand\.Intn\)`
+		}()
+	}
+	wg.Wait()
+}
+
+// seededSplit threads a caller-seeded stream into the split: allowed.
+func seededSplit(rng *rand.Rand, n int) int {
+	return rng.Intn(n)
+}
+
+// timedDrain spins on the wall clock to decide when workers are done
+// instead of counting completed blocks.
+func timedDrain(done *atomic.Int32, nblocks int) {
+	deadline := time.Now().Add(time.Second) // want `wall-clock dependence \(time\.Now\)`
+	for done.Load() < int32(nblocks) {
+		if time.Now().After(deadline) { // want `wall-clock dependence \(time\.Now\)`
+			return
+		}
+	}
+}

@@ -22,6 +22,7 @@ var DeterministicPkgs = []string{
 	"internal/solvers",
 	"internal/partition",
 	"internal/problem",
+	"internal/parallel",
 }
 
 // MapOrderPkgs lists the packages where map iteration order can leak into
@@ -29,6 +30,7 @@ var DeterministicPkgs = []string{
 var MapOrderPkgs = []string{
 	"internal/rma",
 	"internal/dmem",
+	"internal/parallel",
 }
 
 // MatchAny reports whether pkgPath equals one of the patterns or ends with

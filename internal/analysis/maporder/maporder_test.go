@@ -10,5 +10,6 @@ import (
 func TestMaporder(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), maporder.Analyzer,
 		"internal/dmem",
+		"internal/parallel",
 	)
 }

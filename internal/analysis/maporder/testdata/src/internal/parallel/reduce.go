@@ -1,0 +1,43 @@
+// Fixture: reduction shapes of a goroutine fan-out kernel layer, in the
+// maporder scope (path suffix internal/parallel). Parallel reductions must
+// combine per-block partials from a slice in fixed index order; draining
+// them from a map would re-order the floating-point sum run to run.
+package parallel
+
+// reduceBlocksOK combines per-block partial sums in ascending block order:
+// the legal fixed-order reduction (slices have deterministic iteration).
+func reduceBlocksOK(partial []float64) float64 {
+	sum := 0.0
+	for _, p := range partial {
+		sum += p
+	}
+	return sum
+}
+
+// reduceMapOrder accumulates worker partials from a map keyed by worker id:
+// non-associative addition in hash order.
+func reduceMapOrder(partial map[int]float64) float64 {
+	sum := 0.0
+	for _, p := range partial { // want `order-sensitive iteration over map partial \(floating-point accumulation into sum\)`
+		sum += p
+	}
+	return sum
+}
+
+// collectBlocksNoSort gathers ready block ids from a set without sorting:
+// any consumer that walks the result sees hash order.
+func collectBlocksNoSort(ready map[int]bool) []int {
+	var blocks []int
+	for b := range ready { // want `order-sensitive iteration over map ready \(append to blocks\)`
+		blocks = append(blocks, b)
+	}
+	return blocks
+}
+
+// dispatchMapOrder feeds a task channel in map order: workers would claim
+// blocks in a schedule that varies with the hash seed.
+func dispatchMapOrder(tasks chan<- int, pending map[int]bool) {
+	for b := range pending { // want `order-sensitive iteration over map pending \(channel send\)`
+		tasks <- b
+	}
+}

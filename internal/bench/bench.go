@@ -19,6 +19,7 @@ import (
 
 	"southwell/internal/core"
 	"southwell/internal/dmem"
+	"southwell/internal/parallel"
 	"southwell/internal/partition"
 	"southwell/internal/problem"
 	"southwell/internal/rma"
@@ -60,6 +61,23 @@ type Config struct {
 	Faults *rma.FaultPlan
 	// ChaosSeed seeds the delay plans the Chaos driver builds (default 1).
 	ChaosSeed int64
+	// KernelWorkers resizes the shared numerical-kernel pool
+	// (parallel.SetDefaultWorkers) before suite runs execute: -1 forces
+	// sequential kernels, 0 leaves the pool as configured (the default).
+	// Like Par and Goroutines, it never changes results — the kernels are
+	// bit-identical for every worker count (see internal/parallel).
+	KernelWorkers int
+}
+
+// applyKernelWorkers resizes the shared kernel pool per the config; 0
+// means "leave it alone" so a zero-value Config composes with callers that
+// configured the pool themselves.
+func (c Config) applyKernelWorkers() {
+	if c.KernelWorkers > 0 {
+		parallel.SetDefaultWorkers(c.KernelWorkers)
+	} else if c.KernelWorkers < 0 {
+		parallel.SetDefaultWorkers(1)
+	}
 }
 
 func (c Config) ranks() int {
@@ -193,6 +211,7 @@ func partitionFor(name string, a *sparse.CSR, ranks int, seed int64) []int {
 // runSuite runs (with caching) one method on one suite matrix, using the
 // config's seed and world engine.
 func runSuite(cfg Config, name string, method core.DistMethod, ranks, steps int) (*dmem.Result, error) {
+	cfg.applyKernelWorkers()
 	key := runKey{
 		name: name, method: method, ranks: ranks, steps: steps,
 		seed: cfg.seed(), local: cfg.Local, model: cfg.costModel(),
@@ -255,6 +274,7 @@ func suiteJobs(names []string, methods []core.DistMethod, rankCounts []int, step
 // their own (deterministic) order. A no-op when Par <= 1: the printers
 // compute lazily through runSuite exactly as before.
 func prefetch(cfg Config, jobs []runJob) error {
+	cfg.applyKernelWorkers()
 	par := cfg.par()
 	if par <= 1 || len(jobs) <= 1 {
 		return nil

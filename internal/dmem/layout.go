@@ -17,7 +17,9 @@ package dmem
 import (
 	"fmt"
 	"sort"
+	"sync"
 
+	"southwell/internal/parallel"
 	"southwell/internal/sparse"
 )
 
@@ -97,68 +99,168 @@ func NewLayout(a *sparse.CSR, part []int, p int) (*Layout, error) {
 		}
 	}
 
+	// Per-rank extraction: ranks are independent (each writes only its own
+	// RankData from the read-only matrix and partition), so rank blocks fan
+	// out over the shared pool. Each block reuses one pooled position
+	// scratch across its ranks. Block boundaries never influence the
+	// per-rank output, so the layout is identical for any worker count.
 	l.Ranks = make([]*RankData, p)
-	for pr := 0; pr < p; pr++ {
-		l.Ranks[pr] = buildRank(a, l, pr)
+	nb := rankBlockCount(p)
+	blocks := parallel.SplitN(p, nb, make([]parallel.Range, 0, nb))
+	var build parallel.Task
+	build.F = func(b int) {
+		sc := getLayoutScratch(a.N)
+		for pr := blocks[b].Lo; pr < blocks[b].Hi; pr++ {
+			l.Ranks[pr] = buildRank(a, l, pr, sc.pos)
+		}
+		putLayoutScratch(sc)
 	}
+	parallel.Default().Run(&build, nb)
+
 	// Second pass: cross-rank slot addressing (needs all ExtGlob built).
-	for pr := 0; pr < p; pr++ {
-		rd := l.Ranks[pr]
-		for j, q := range rd.Nbrs {
-			qd := l.Ranks[q]
-			rd.BndExtLocalInNbr[j] = make([]int, len(rd.BndExt[j]))
-			for k, e := range rd.BndExt[j] {
-				rd.BndExtLocalInNbr[j][k] = l.Local[rd.ExtGlob[e]]
-			}
-			rd.MyBndExtInNbr[j] = make([]int, len(rd.MyBnd[j]))
-			for k, li := range rd.MyBnd[j] {
-				g := rd.Glob[li]
-				s := sort.SearchInts(qd.ExtGlob, g)
-				if s >= len(qd.ExtGlob) || qd.ExtGlob[s] != g {
-					return nil, fmt.Errorf("dmem: asymmetric coupling: row %d couples into rank %d but not back", g, q)
-				}
-				rd.MyBndExtInNbr[j][k] = s
-			}
+	// Also per-rank independent; a rank records its first error and the
+	// lowest-rank error wins, keeping failures deterministic.
+	errs := make([]error, p)
+	var address parallel.Task
+	address.F = func(b int) {
+		for pr := blocks[b].Lo; pr < blocks[b].Hi; pr++ {
+			errs[pr] = addressRank(l, pr)
+		}
+	}
+	parallel.Default().Run(&address, nb)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return l, nil
 }
 
-func buildRank(a *sparse.CSR, l *Layout, p int) *RankData {
+// addressRank resolves rank pr's exchange plans into its neighbors' local
+// and ext-slot index spaces.
+func addressRank(l *Layout, pr int) error {
+	rd := l.Ranks[pr]
+	for j, q := range rd.Nbrs {
+		qd := l.Ranks[q]
+		rd.BndExtLocalInNbr[j] = make([]int, len(rd.BndExt[j]))
+		for k, e := range rd.BndExt[j] {
+			rd.BndExtLocalInNbr[j][k] = l.Local[rd.ExtGlob[e]]
+		}
+		rd.MyBndExtInNbr[j] = make([]int, len(rd.MyBnd[j]))
+		for k, li := range rd.MyBnd[j] {
+			g := rd.Glob[li]
+			s := sort.SearchInts(qd.ExtGlob, g)
+			if s >= len(qd.ExtGlob) || qd.ExtGlob[s] != g {
+				return fmt.Errorf("dmem: asymmetric coupling: row %d couples into rank %d but not back", g, q)
+			}
+			rd.MyBndExtInNbr[j][k] = s
+		}
+	}
+	return nil
+}
+
+// rankBlockCount bounds the rank fan-out so at most a handful of position
+// scratches (one per in-flight block, each a.N ints) are live at once.
+func rankBlockCount(p int) int {
+	w := parallel.Default().Workers()
+	nb := 2 * w
+	if nb > p {
+		nb = p
+	}
+	if nb < 1 {
+		nb = 1
+	}
+	return nb
+}
+
+// layoutScratch is the reusable extraction state: pos[g] is -1 when global
+// row g is untouched, and otherwise holds g's slot in the current rank's
+// ExtGlob (or 0 as a transient seen-marker while collecting). Every rank
+// resets exactly the entries it touched, so a recycled scratch is all -1.
+type layoutScratch struct {
+	pos []int32
+}
+
+var layoutFree struct {
+	mu   sync.Mutex
+	list []*layoutScratch
+}
+
+func getLayoutScratch(n int) *layoutScratch {
+	layoutFree.mu.Lock()
+	var sc *layoutScratch
+	if k := len(layoutFree.list); k > 0 {
+		sc = layoutFree.list[k-1]
+		layoutFree.list[k-1] = nil
+		layoutFree.list = layoutFree.list[:k-1]
+	}
+	layoutFree.mu.Unlock()
+	if sc == nil {
+		sc = &layoutScratch{}
+	}
+	if len(sc.pos) < n {
+		sc.pos = make([]int32, n)
+		for i := range sc.pos {
+			sc.pos[i] = -1
+		}
+	}
+	return sc
+}
+
+func putLayoutScratch(sc *layoutScratch) {
+	layoutFree.mu.Lock()
+	layoutFree.list = append(layoutFree.list, sc)
+	layoutFree.mu.Unlock()
+}
+
+// buildRank extracts rank p's local view. pos is the pooled extraction
+// scratch (all -1 on entry, all -1 again on return): it serves first as a
+// seen-marker while collecting external rows and then as an O(1) global →
+// ext-slot index, replacing the per-entry binary search and the per-rank
+// hash sets of the original implementation.
+func buildRank(a *sparse.CSR, l *Layout, p int, pos []int32) *RankData {
 	rows := l.Rows[p]
+	nnzCap := 0
+	for _, g := range rows {
+		nnzCap += a.RowPtr[g+1] - a.RowPtr[g]
+	}
 	rd := &RankData{
 		P:      p,
 		Glob:   rows,
 		RowPtr: make([]int, len(rows)+1),
+		ColLoc: make([]int, 0, nnzCap),
+		ColExt: make([]int, 0, nnzCap),
+		IsExt:  make([]bool, 0, nnzCap),
+		Val:    make([]float64, 0, nnzCap),
 		Diag:   make([]float64, len(rows)),
 		NbrIdx: make(map[int]int),
 	}
 	// Collect external rows first for stable ext indexing.
-	extSet := map[int]bool{}
 	for _, g := range rows {
-		cols, _ := a.Row(g)
-		for _, c := range cols {
-			if l.Part[c] != p {
-				extSet[c] = true
+		lo, hi := a.RowPtr[g], a.RowPtr[g+1]
+		for _, c := range a.Col[lo:hi] {
+			if l.Part[c] != p && pos[c] < 0 {
+				pos[c] = 0
+				rd.ExtGlob = append(rd.ExtGlob, c)
 			}
 		}
 	}
-	rd.ExtGlob = make([]int, 0, len(extSet))
-	for g := range extSet {
-		rd.ExtGlob = append(rd.ExtGlob, g)
-	}
 	sort.Ints(rd.ExtGlob)
 	rd.ExtOwner = make([]int, len(rd.ExtGlob))
-	nbrSet := map[int]bool{}
 	for e, g := range rd.ExtGlob {
+		pos[g] = int32(e)
 		rd.ExtOwner[e] = l.Part[g]
-		nbrSet[l.Part[g]] = true
 	}
-	rd.Nbrs = make([]int, 0, len(nbrSet))
-	for q := range nbrSet {
-		rd.Nbrs = append(rd.Nbrs, q)
+	// Neighbor ranks: the sorted, deduplicated external owners.
+	nbrs := make([]int, len(rd.ExtOwner))
+	copy(nbrs, rd.ExtOwner)
+	sort.Ints(nbrs)
+	rd.Nbrs = nbrs[:0]
+	for _, q := range nbrs {
+		if k := len(rd.Nbrs); k == 0 || rd.Nbrs[k-1] != q {
+			rd.Nbrs = append(rd.Nbrs, q)
+		}
 	}
-	sort.Ints(rd.Nbrs)
 	for j, q := range rd.Nbrs {
 		rd.NbrIdx[q] = j
 	}
@@ -171,12 +273,8 @@ func buildRank(a *sparse.CSR, l *Layout, p int) *RankData {
 		rd.BndExt[j] = append(rd.BndExt[j], e)
 	}
 
-	// Local matrix entries.
-	extIndex := func(g int) int { return sort.SearchInts(rd.ExtGlob, g) }
-	myBndSeen := make([]map[int]bool, len(rd.Nbrs))
-	for j := range myBndSeen {
-		myBndSeen[j] = map[int]bool{}
-	}
+	// Local matrix entries. Local rows li ascend, so "already recorded in
+	// MyBnd[j]" is just a last-element check — no per-neighbor seen set.
 	for li, g := range rows {
 		cols, vals := a.Row(g)
 		for k, c := range cols {
@@ -190,13 +288,11 @@ func buildRank(a *sparse.CSR, l *Layout, p int) *RankData {
 				rd.ColExt = append(rd.ColExt, -1)
 				rd.IsExt = append(rd.IsExt, false)
 			} else {
-				e := extIndex(c)
 				rd.ColLoc = append(rd.ColLoc, -1)
-				rd.ColExt = append(rd.ColExt, e)
+				rd.ColExt = append(rd.ColExt, int(pos[c]))
 				rd.IsExt = append(rd.IsExt, true)
 				j := rd.NbrIdx[l.Part[c]]
-				if !myBndSeen[j][li] {
-					myBndSeen[j][li] = true
+				if mb := rd.MyBnd[j]; len(mb) == 0 || mb[len(mb)-1] != li {
 					rd.MyBnd[j] = append(rd.MyBnd[j], li)
 				}
 			}
@@ -205,6 +301,10 @@ func buildRank(a *sparse.CSR, l *Layout, p int) *RankData {
 		rd.RowPtr[li+1] = len(rd.Val)
 	}
 	rd.NNZ = len(rd.Val)
+	// Leave the scratch all -1 for the next rank.
+	for _, g := range rd.ExtGlob {
+		pos[g] = -1
+	}
 	return rd
 }
 

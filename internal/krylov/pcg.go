@@ -74,8 +74,7 @@ func Solve(a *sparse.CSR, b, x []float64, m Preconditioner, opt Options) (Result
 	}
 
 	r := make([]float64, n)
-	a.Residual(b, x, r)
-	r0 := sparse.Norm2(r)
+	r0 := a.ResidualNorm2(b, x, r)
 	res := Result{}
 	if r0 == 0 {
 		res.Converged = true

@@ -177,16 +177,14 @@ func (h *Hierarchy) cycle(k int, b, x []float64) {
 // ‖r‖/‖r⁰‖ after each cycle.
 func (h *Hierarchy) Solve(b, x []float64, cycles int) []float64 {
 	fine := h.levels[0]
-	fine.a.Residual(b, x, fine.r)
-	r0 := sparse.Norm2(fine.r)
+	r0 := fine.a.ResidualNorm2(b, x, fine.r)
 	if r0 == 0 {
 		return make([]float64, cycles)
 	}
 	out := make([]float64, 0, cycles)
 	for c := 0; c < cycles; c++ {
 		h.VCycle(b, x)
-		fine.a.Residual(b, x, fine.r)
-		out = append(out, sparse.Norm2(fine.r)/r0)
+		out = append(out, fine.a.ResidualNorm2(b, x, fine.r)/r0)
 	}
 	return out
 }

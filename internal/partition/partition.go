@@ -24,7 +24,15 @@ type graph struct {
 }
 
 func graphFromCSR(a *sparse.CSR) *graph {
-	g := &graph{n: a.N, xadj: make([]int, a.N+1), vw: make([]int, a.N)}
+	g := &graph{
+		n:    a.N,
+		xadj: make([]int, a.N+1),
+		vw:   make([]int, a.N),
+		// Pre-size from the matrix: off-diagonal count is nnz minus the
+		// (at most n) diagonal entries, so nnz is a tight upper bound.
+		adj: make([]int, 0, a.NNZ()),
+		ew:  make([]float64, 0, a.NNZ()),
+	}
 	for i := 0; i < a.N; i++ {
 		g.vw[i] = 1
 		cols, vals := a.Row(i)

@@ -63,8 +63,10 @@ func FEM2DRand(m int, distort float64, rng *rand.Rand) *sparse.CSR {
 		}
 	}
 
-	c := sparse.NewCOO(ni, 10*ni)
-	assemble := func(v0, v1, v2 int) {
+	// Element assembly fans out over cell rows (nodes and numbering above
+	// are read-only by now); each cell contributes two triangles of up to 9
+	// entries each, so blocks are pre-sized at 18 entries per cell.
+	assemble := func(c *sparse.COO, v0, v1, v2 int) {
 		x0, y0 := xs[v0], ys[v0]
 		x1, y1 := xs[v1], ys[v1]
 		x2, y2 := xs[v2], ys[v2]
@@ -91,22 +93,21 @@ func FEM2DRand(m int, distort float64, rng *rand.Rand) *sparse.CSR {
 			}
 		}
 	}
-	for iy := 0; iy < m; iy++ {
+	return assembleBlocked(ni, m, 18*m, func(c *sparse.COO, iy int) {
 		for ix := 0; ix < m; ix++ {
 			a := node(ix, iy)
 			b := node(ix+1, iy)
 			cN := node(ix, iy+1)
 			d := node(ix+1, iy+1)
 			if (ix+iy)%2 == 0 { // alternate the cell diagonal
-				assemble(a, b, d)
-				assemble(a, d, cN)
+				assemble(c, a, b, d)
+				assemble(c, a, d, cN)
 			} else {
-				assemble(a, b, cN)
-				assemble(b, d, cN)
+				assemble(c, a, b, cN)
+				assemble(c, b, d, cN)
 			}
 		}
-	}
-	return c.ToCSR()
+	})
 }
 
 // Fig2FEM returns the finite element problem used for Figures 2 and 5,

@@ -18,9 +18,8 @@ import (
 // boundary conditions. The matrix has dimension nx*ny (interior points only)
 // and row i corresponds to grid point (i%nx, i/nx).
 func Poisson2D(nx, ny int) *sparse.CSR {
-	c := sparse.NewCOO(nx*ny, 5*nx*ny)
 	id := func(ix, iy int) int { return iy*nx + ix }
-	for iy := 0; iy < ny; iy++ {
+	return assembleBlocked(nx*ny, ny, 5*nx, func(c *sparse.COO, iy int) {
 		for ix := 0; ix < nx; ix++ {
 			i := id(ix, iy)
 			c.Add(i, i, 4)
@@ -37,17 +36,15 @@ func Poisson2D(nx, ny int) *sparse.CSR {
 				c.Add(i, id(ix, iy+1), -1)
 			}
 		}
-	}
-	return c.ToCSR()
+	})
 }
 
 // Aniso2D returns the 5-point discretization of -eps*u_xx - u_yy on an
 // nx-by-ny interior grid (Dirichlet). eps << 1 produces strong coupling in
 // the y direction only, a classically hard case for point smoothers.
 func Aniso2D(nx, ny int, eps float64) *sparse.CSR {
-	c := sparse.NewCOO(nx*ny, 5*nx*ny)
 	id := func(ix, iy int) int { return iy*nx + ix }
-	for iy := 0; iy < ny; iy++ {
+	return assembleBlocked(nx*ny, ny, 5*nx, func(c *sparse.COO, iy int) {
 		for ix := 0; ix < nx; ix++ {
 			i := id(ix, iy)
 			c.Add(i, i, 2*eps+2)
@@ -64,8 +61,7 @@ func Aniso2D(nx, ny int, eps float64) *sparse.CSR {
 				c.Add(i, id(ix, iy+1), -1)
 			}
 		}
-	}
-	return c.ToCSR()
+	})
 }
 
 // Coeff3D maps a grid cell to a scalar diffusion coefficient. Face
@@ -82,10 +78,9 @@ func Poisson3D(nx, ny, nz int, a Coeff3D, ax, ay, az float64) *sparse.CSR {
 		a = func(int, int, int) float64 { return 1 }
 	}
 	n := nx * ny * nz
-	c := sparse.NewCOO(n, 7*n)
 	id := func(ix, iy, iz int) int { return (iz*ny+iy)*nx + ix }
 	harm := func(u, v float64) float64 { return 2 * u * v / (u + v) }
-	for iz := 0; iz < nz; iz++ {
+	return assembleBlocked(n, nz, 7*nx*ny, func(c *sparse.COO, iz int) {
 		for iy := 0; iy < ny; iy++ {
 			for ix := 0; ix < nx; ix++ {
 				i := id(ix, iy, iz)
@@ -130,8 +125,7 @@ func Poisson3D(nx, ny, nz int, a Coeff3D, ax, ay, az float64) *sparse.CSR {
 				c.Add(i, i, diag)
 			}
 		}
-	}
-	return c.ToCSR()
+	})
 }
 
 // QuadrantJump2D returns a 2D coefficient-jump Poisson problem: coefficient
@@ -147,10 +141,9 @@ func QuadrantJump2D(nx, ny int, jump float64) *sparse.CSR {
 		return 1
 	}
 	n := nx * ny
-	c := sparse.NewCOO(n, 5*n)
 	id := func(ix, iy int) int { return iy*nx + ix }
 	harm := func(u, v float64) float64 { return 2 * u * v / (u + v) }
-	for iy := 0; iy < ny; iy++ {
+	return assembleBlocked(n, ny, 5*nx, func(c *sparse.COO, iy int) {
 		for ix := 0; ix < nx; ix++ {
 			i := id(ix, iy)
 			ai := coeff(ix, iy)
@@ -181,8 +174,7 @@ func QuadrantJump2D(nx, ny int, jump float64) *sparse.CSR {
 			}
 			c.Add(i, i, diag)
 		}
-	}
-	return c.ToCSR()
+	})
 }
 
 // Biharmonic2D returns the 13-point discretization of Δ²u on an nx-by-ny

@@ -123,9 +123,7 @@ type state struct {
 func newState(a *sparse.CSR, b, x []float64) *state {
 	s := &state{a: a, x: x, r: make([]float64, a.N)}
 	a.Residual(b, x, s.r)
-	for _, v := range s.r {
-		s.normSq += v * v
-	}
+	s.normSq = sparse.SumSquares(s.r)
 	return s
 }
 

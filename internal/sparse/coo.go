@@ -2,7 +2,8 @@ package sparse
 
 import (
 	"fmt"
-	"sort"
+
+	"southwell/internal/parallel"
 )
 
 // COO is a coordinate-format builder for sparse matrices. Entries may be
@@ -46,63 +47,128 @@ func (c *COO) AddSym(i, j int, v float64) {
 // NNZ returns the number of (possibly duplicate) entries added so far.
 func (c *COO) NNZ() int { return len(c.Rows) }
 
-// ToCSR converts the builder to CSR, summing duplicates and dropping exact
-// zeros that result from cancellation of duplicates (entries added as zero
-// are kept only if their sum is nonzero).
+// ToCSR converts the builder to CSR, summing duplicates in insertion order
+// and dropping exact zeros that result from cancellation of duplicates
+// (entries added as zero are kept only if their sum is nonzero, except on
+// the diagonal, which is always kept so iterative methods can divide by a
+// stored a_ii).
+//
+// The conversion is a stable per-shard counting sort instead of a
+// comparison sort: the entry list is cut into a fixed number of contiguous
+// shards (a function of the entry count only), each shard counts its
+// entries per row, a sequential pass lays out per-(row, shard) base
+// offsets, and the shards scatter in parallel. Because offsets are ordered
+// by shard and shards are contiguous, every row receives its entries in
+// global insertion order; a stable per-row sort by column then keeps
+// duplicates adjacent in insertion order, making the summation order — and
+// therefore the result — well defined and bit-identical for any worker
+// count.
 func (c *COO) ToCSR() *CSR {
 	n := c.N
-	perm := make([]int, len(c.Rows))
-	for i := range perm {
-		perm[i] = i
-	}
-	sort.Slice(perm, func(x, y int) bool {
-		px, py := perm[x], perm[y]
-		if c.Rows[px] != c.Rows[py] {
-			return c.Rows[px] < c.Rows[py]
+	m := len(c.Rows)
+	ns := parallel.Blocks(m, convShardGrain, maxConvShards)
+	shards := parallel.SplitN(m, ns, make([]parallel.Range, 0, ns))
+
+	// Phase 1: per-shard row counts.
+	cnt := make([]int, ns*n)
+	runBlocks(ns, func(s int) {
+		cn := cnt[s*n : (s+1)*n]
+		rg := shards[s]
+		for e := rg.Lo; e < rg.Hi; e++ {
+			cn[c.Rows[e]]++
 		}
-		return c.Cols[px] < c.Cols[py]
 	})
 
+	// Phase 2 (sequential): convert counts to per-(row, shard) base offsets
+	// in row-major, shard-minor order, recording each row's start.
+	rowStart := make([]int, n+1)
+	pos := 0
+	for i := 0; i < n; i++ {
+		rowStart[i] = pos
+		for s := 0; s < ns; s++ {
+			v := cnt[s*n+i]
+			cnt[s*n+i] = pos
+			pos += v
+		}
+	}
+	rowStart[n] = pos
+
+	// Phase 3: stable parallel scatter into row-grouped order.
+	tmpCol := make([]int, m)
+	tmpVal := make([]float64, m)
+	runBlocks(ns, func(s int) {
+		off := cnt[s*n : (s+1)*n]
+		rg := shards[s]
+		for e := rg.Lo; e < rg.Hi; e++ {
+			i := c.Rows[e]
+			p := off[i]
+			off[i] = p + 1
+			tmpCol[p] = c.Cols[e]
+			tmpVal[p] = c.Vals[e]
+		}
+	})
+
+	// Phase 4: per-row stable sort by column, duplicate summation in
+	// insertion order, zero dropping, and in-place compaction. Rows are
+	// independent, so row blocks run in parallel. kept[i+1] holds row i's
+	// surviving entry count and becomes RowPtr after a prefix sum.
+	kept := make([]int, n+1)
+	nrb := parallel.Blocks(n, rowBlockGrain, maxKernBlocks)
+	rowBlocks := parallel.SplitN(n, nrb, make([]parallel.Range, 0, nrb))
+	runBlocks(nrb, func(b int) {
+		rg := rowBlocks[b]
+		for i := rg.Lo; i < rg.Hi; i++ {
+			cols := tmpCol[rowStart[i]:rowStart[i+1]]
+			vals := tmpVal[rowStart[i]:rowStart[i+1]]
+			// Stable insertion sort: rows are short (bounded by the
+			// stencil/element valence), and stability keeps duplicate
+			// entries in insertion order.
+			for p := 1; p < len(cols); p++ {
+				cj, vj := cols[p], vals[p]
+				q := p - 1
+				for q >= 0 && cols[q] > cj {
+					cols[q+1] = cols[q]
+					vals[q+1] = vals[q]
+					q--
+				}
+				cols[q+1] = cj
+				vals[q+1] = vj
+			}
+			w := 0
+			for k := 0; k < len(cols); {
+				j := cols[k]
+				v := vals[k]
+				for k++; k < len(cols) && cols[k] == j; k++ {
+					v += vals[k]
+				}
+				if v != 0 || j == i {
+					cols[w] = j
+					vals[w] = v
+					w++
+				}
+			}
+			kept[i+1] = w
+		}
+	})
+
+	// Phase 5 (sequential): prefix sum of kept counts.
+	for i := 0; i < n; i++ {
+		kept[i+1] += kept[i]
+	}
+
+	// Phase 6: parallel compaction into the final arrays.
 	a := &CSR{
 		N:      n,
-		RowPtr: make([]int, n+1),
-		Col:    make([]int, 0, len(perm)),
-		Val:    make([]float64, 0, len(perm)),
+		RowPtr: kept,
+		Col:    make([]int, kept[n]),
+		Val:    make([]float64, kept[n]),
 	}
-	lastRow, lastCol := -1, -1
-	for _, p := range perm {
-		i, j, v := c.Rows[p], c.Cols[p], c.Vals[p]
-		if i == lastRow && j == lastCol {
-			a.Val[len(a.Val)-1] += v
-			continue
+	runBlocks(nrb, func(b int) {
+		rg := rowBlocks[b]
+		for i := rg.Lo; i < rg.Hi; i++ {
+			copy(a.Col[kept[i]:kept[i+1]], tmpCol[rowStart[i]:])
+			copy(a.Val[kept[i]:kept[i+1]], tmpVal[rowStart[i]:])
 		}
-		a.Col = append(a.Col, j)
-		a.Val = append(a.Val, v)
-		lastRow, lastCol = i, j
-		a.RowPtr[i+1]++
-	}
-	// Drop entries that summed to exactly zero, keeping the diagonal so
-	// iterative methods can always divide by a stored a_ii.
-	w := 0
-	k := 0
-	for i := 0; i < n; i++ {
-		cnt := a.RowPtr[i+1]
-		kept := 0
-		for c2 := 0; c2 < cnt; c2++ {
-			if a.Val[k] != 0 || a.Col[k] == i {
-				a.Col[w] = a.Col[k]
-				a.Val[w] = a.Val[k]
-				w++
-				kept++
-			}
-			k++
-		}
-		a.RowPtr[i+1] = kept
-	}
-	a.Col = a.Col[:w]
-	a.Val = a.Val[:w]
-	for i := 0; i < n; i++ {
-		a.RowPtr[i+1] += a.RowPtr[i]
-	}
+	})
 	return a
 }

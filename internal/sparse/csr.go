@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"southwell/internal/parallel"
 )
 
 // CSR is a square sparse matrix in compressed sparse row format.
@@ -62,66 +64,74 @@ func (a *CSR) At(i, j int) float64 {
 	return 0
 }
 
-// Diag returns a copy of the diagonal of the matrix.
+// Diag returns a copy of the diagonal of the matrix. Columns within a row
+// are sorted, so a linear scan that stops at the first column >= i visits
+// only the sub-diagonal entries of each row — no per-row binary search.
 func (a *CSR) Diag() []float64 {
 	d := make([]float64, a.N)
 	for i := 0; i < a.N; i++ {
-		d[i] = a.At(i, i)
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.Col[k]
+			if j >= i {
+				if j == i {
+					d[i] = a.Val[k]
+				}
+				break
+			}
+		}
 	}
 	return d
 }
 
-// MulVec computes y = A*x. y must have length N and may not alias x.
-func (a *CSR) MulVec(x, y []float64) {
-	if len(x) != a.N || len(y) != a.N {
-		panic(fmt.Sprintf("sparse: MulVec dimension mismatch: n=%d len(x)=%d len(y)=%d", a.N, len(x), len(y)))
-	}
-	for i := 0; i < a.N; i++ {
-		sum := 0.0
-		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
-		for k := lo; k < hi; k++ {
-			sum += a.Val[k] * x[a.Col[k]]
-		}
-		y[i] = sum
-	}
-}
-
-// Residual computes r = b - A*x into r (length N).
-func (a *CSR) Residual(b, x, r []float64) {
-	a.MulVec(x, r)
-	for i := range r {
-		r[i] = b[i] - r[i]
-	}
-}
-
-// Transpose returns the transpose of the matrix.
+// Transpose returns the transpose of the matrix, built by a per-shard
+// counting sort over NNZ-balanced source-row ranges: each shard counts its
+// entries per target row, a sequential pass lays out per-(target row,
+// shard) base offsets, and the shards scatter in parallel. Offsets are
+// ordered by shard and shards are contiguous source ranges, so entries of a
+// target row land in ascending source-row order — exactly the layout of the
+// sequential algorithm — for any worker count.
 func (a *CSR) Transpose() *CSR {
 	n := a.N
-	cnt := make([]int, n+1)
-	for _, j := range a.Col {
-		cnt[j+1]++
-	}
-	for i := 0; i < n; i++ {
-		cnt[i+1] += cnt[i]
-	}
+	nnz := a.NNZ()
+	ns := parallel.Blocks(nnz, convShardGrain, maxConvShards)
 	t := &CSR{
 		N:      n,
-		RowPtr: cnt,
-		Col:    make([]int, a.NNZ()),
-		Val:    make([]float64, a.NNZ()),
+		RowPtr: make([]int, n+1),
+		Col:    make([]int, nnz),
+		Val:    make([]float64, nnz),
 	}
-	next := make([]int, n)
-	copy(next, t.RowPtr[:n])
-	for i := 0; i < n; i++ {
-		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
-		for k := lo; k < hi; k++ {
-			j := a.Col[k]
-			p := next[j]
-			next[j]++
-			t.Col[p] = i
-			t.Val[p] = a.Val[k]
+	shards := parallel.SplitNNZ(a.RowPtr, ns, make([]parallel.Range, 0, ns))
+	cnt := make([]int, ns*n)
+	runBlocks(ns, func(s int) {
+		c := cnt[s*n : (s+1)*n]
+		rg := shards[s]
+		for k := a.RowPtr[rg.Lo]; k < a.RowPtr[rg.Hi]; k++ {
+			c[a.Col[k]]++
+		}
+	})
+	pos := 0
+	for j := 0; j < n; j++ {
+		t.RowPtr[j] = pos
+		for s := 0; s < ns; s++ {
+			v := cnt[s*n+j]
+			cnt[s*n+j] = pos
+			pos += v
 		}
 	}
+	t.RowPtr[n] = pos
+	runBlocks(ns, func(s int) {
+		off := cnt[s*n : (s+1)*n]
+		rg := shards[s]
+		for i := rg.Lo; i < rg.Hi; i++ {
+			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+				j := a.Col[k]
+				p := off[j]
+				off[j] = p + 1
+				t.Col[p] = i
+				t.Val[p] = a.Val[k]
+			}
+		}
+	})
 	return t
 }
 

@@ -1,0 +1,152 @@
+package sparse_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"southwell/internal/parallel"
+	"southwell/internal/problem"
+	"southwell/internal/sparse"
+)
+
+// benchMat lazily builds the 100k-row FEM matrix of the acceptance
+// criteria (m=318 gives (m-1)² = 100489 interior nodes) plus operand
+// vectors, shared across sub-benchmarks.
+var benchMat struct {
+	once       sync.Once
+	a          *sparse.CSR
+	x, y, b, r []float64
+}
+
+func benchSystem() (*sparse.CSR, []float64, []float64, []float64, []float64) {
+	benchMat.once.Do(func() {
+		a := problem.FEM2D(318, 0.35, 1)
+		benchMat.a = a
+		benchMat.x = make([]float64, a.N)
+		benchMat.y = make([]float64, a.N)
+		benchMat.b = make([]float64, a.N)
+		benchMat.r = make([]float64, a.N)
+		for i := 0; i < a.N; i++ {
+			benchMat.x[i] = float64(i%97) / 97
+			benchMat.b[i] = float64(i%31) / 31
+		}
+	})
+	return benchMat.a, benchMat.x, benchMat.y, benchMat.b, benchMat.r
+}
+
+// BenchmarkKernels measures the steady-state numerical kernels on the
+// 100k-row FEM matrix at one worker and at GOMAXPROCS workers. allocs_op
+// is the machine-independent regression gate (BENCH_kernels.json); ns_op
+// demonstrates the multi-core win.
+func BenchmarkKernels(b *testing.B) {
+	a, x, y, rhs, r := benchSystem()
+	orig := parallel.Default().Workers()
+	defer parallel.SetDefaultWorkers(orig)
+
+	widths := []int{1}
+	if g := runtime.GOMAXPROCS(0); g > 1 {
+		widths = append(widths, g)
+	}
+	for _, w := range widths {
+		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
+			parallel.SetDefaultWorkers(w)
+			kernels := []struct {
+				name string
+				f    func()
+			}{
+				{"MulVec", func() { a.MulVec(x, y) }},
+				{"Residual", func() { a.Residual(rhs, x, r) }},
+				{"ResidualNorm2", func() { _ = a.ResidualNorm2(rhs, x, r) }},
+				{"Norm2", func() { _ = sparse.Norm2(r) }},
+			}
+			for _, k := range kernels {
+				b.Run(k.name, func(b *testing.B) {
+					k.f() // warm the scratch free list
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						k.f()
+					}
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkSetup measures the concurrent setup paths: FEM assembly
+// (problem generation + COO→CSR conversion) and Transpose.
+func BenchmarkSetup(b *testing.B) {
+	a, _, _, _, _ := benchSystem()
+	b.Run("FEM2D-100k", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = problem.FEM2D(318, 0.35, 1)
+		}
+	})
+	b.Run("Transpose-100k", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = a.Transpose()
+		}
+	})
+}
+
+// kernelGate mirrors the "gate" object of BENCH_kernels.json: kernel name
+// to maximum allowed steady-state allocations per call.
+type kernelGate struct {
+	Gate map[string]float64 `json:"gate"`
+}
+
+// TestKernelAllocGate is the machine-independent regression gate: each
+// steady-state kernel must allocate no more than BENCH_kernels.json
+// records (zero). The matrix is large enough that every kernel takes its
+// blocked multi-shard path.
+func TestKernelAllocGate(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_kernels.json")
+	if err != nil {
+		t.Fatalf("reading BENCH_kernels.json: %v", err)
+	}
+	var g kernelGate
+	if err := json.Unmarshal(data, &g); err != nil {
+		t.Fatalf("parsing BENCH_kernels.json: %v", err)
+	}
+	if len(g.Gate) == 0 {
+		t.Fatal("BENCH_kernels.json has no gate entries")
+	}
+
+	a := problem.FEM2D(150, 0.35, 1) // 22201 rows: blocked paths everywhere
+	x := make([]float64, a.N)
+	rhs := make([]float64, a.N)
+	y := make([]float64, a.N)
+	r := make([]float64, a.N)
+	for i := range x {
+		x[i] = float64(i%13) / 13
+		rhs[i] = float64(i%7) / 7
+	}
+	orig := parallel.Default().Workers()
+	defer parallel.SetDefaultWorkers(orig)
+	parallel.SetDefaultWorkers(4)
+
+	kernels := map[string]func(){
+		"MulVec":        func() { a.MulVec(x, y) },
+		"Residual":      func() { a.Residual(rhs, x, r) },
+		"ResidualNorm2": func() { _ = a.ResidualNorm2(rhs, x, r) },
+		"Norm2":         func() { _ = sparse.Norm2(r) },
+		"SumSquares":    func() { _ = sparse.SumSquares(r) },
+	}
+	for name, limit := range g.Gate {
+		f, ok := kernels[name]
+		if !ok {
+			t.Errorf("BENCH_kernels.json gates unknown kernel %q", name)
+			continue
+		}
+		f() // warm the scratch free list outside the measurement
+		if got := testing.AllocsPerRun(20, f); got > limit {
+			t.Errorf("%s allocates %.1f/op in steady state, gate is %.0f", name, got, limit)
+		}
+	}
+}

@@ -1,0 +1,361 @@
+// Property tests for the parallel kernel layer: every kernel must be
+// bit-identical to its one-worker result for worker counts {1, 2, 4, 7},
+// and the fused ResidualNorm2 must equal Residual followed by Norm2
+// exactly. External test package so FEM matrices from internal/problem can
+// be used without an import cycle.
+package sparse_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"southwell/internal/parallel"
+	"southwell/internal/problem"
+	"southwell/internal/sparse"
+)
+
+var kernelWidths = []int{1, 2, 4, 7}
+
+// withWorkers runs f with the shared pool at each width in kernelWidths,
+// restoring the original width afterwards.
+func withWorkers(t *testing.T, f func(t *testing.T, w int)) {
+	t.Helper()
+	orig := parallel.Default().Workers()
+	defer parallel.SetDefaultWorkers(orig)
+	for _, w := range kernelWidths {
+		parallel.SetDefaultWorkers(w)
+		f(t, w)
+	}
+}
+
+// testMatrices returns the named matrix set of the issue: random (with
+// duplicate and zero insertions), tridiagonal (large enough to exercise
+// multi-block reductions), and FEM.
+func testMatrices(tb testing.TB) map[string]*sparse.CSR {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(42))
+
+	tri := sparse.NewCOO(50000, 3*50000)
+	for i := 0; i < tri.N; i++ {
+		tri.Add(i, i, 2)
+		if i > 0 {
+			tri.Add(i, i-1, -1)
+		}
+		if i < tri.N-1 {
+			tri.Add(i, i+1, -1)
+		}
+	}
+
+	rnd := sparse.NewCOO(3000, 12*3000)
+	for i := 0; i < rnd.N; i++ {
+		rnd.Add(i, i, 4+rng.Float64())
+		for e := 0; e < 8; e++ {
+			j := rng.Intn(rnd.N)
+			rnd.Add(i, j, rng.NormFloat64())
+		}
+		// Duplicates and explicit zeros, to exercise insertion-order
+		// summation and the zero-drop rule.
+		rnd.Add(i, rng.Intn(rnd.N), 0)
+		j := rng.Intn(rnd.N)
+		v := rng.NormFloat64()
+		rnd.Add(i, j, v)
+		rnd.Add(i, j, -v) // sums to exactly zero: dropped unless diagonal
+	}
+
+	return map[string]*sparse.CSR{
+		"tridiag50k": tri.ToCSR(),
+		"random3k":   rnd.ToCSR(),
+		"fem150":     problem.FEM2D(150, 0.35, 7),
+	}
+}
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+// refMulVecDense is an order-independent correctness reference (compared
+// with tolerance, not bitwise).
+func refMulVec(a *sparse.CSR, x []float64) []float64 {
+	y := make([]float64, a.N)
+	for i := 0; i < a.N; i++ {
+		cols, vals := a.Row(i)
+		s := 0.0
+		for k, j := range cols {
+			s += vals[k] * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+func TestKernelsBitIdenticalAcrossWorkers(t *testing.T) {
+	mats := testMatrices(t)
+	rng := rand.New(rand.NewSource(99))
+	for name, a := range mats {
+		x := randVec(rng, a.N)
+		b := randVec(rng, a.N)
+
+		// References at one worker.
+		parallel.SetDefaultWorkers(1)
+		refY := make([]float64, a.N)
+		a.MulVec(x, refY)
+		refR := make([]float64, a.N)
+		a.Residual(b, x, refR)
+		refRN := make([]float64, a.N)
+		refNorm := a.ResidualNorm2(b, x, refRN)
+		refSS := sparse.SumSquares(refR)
+
+		withWorkers(t, func(t *testing.T, w int) {
+			y := make([]float64, a.N)
+			a.MulVec(x, y)
+			r := make([]float64, a.N)
+			a.Residual(b, x, r)
+			rn := make([]float64, a.N)
+			norm := a.ResidualNorm2(b, x, rn)
+			ss := sparse.SumSquares(r)
+			for i := range y {
+				if y[i] != refY[i] {
+					t.Fatalf("%s width %d: MulVec[%d] = %x, want %x", name, w, i, y[i], refY[i])
+				}
+				if r[i] != refR[i] {
+					t.Fatalf("%s width %d: Residual[%d] = %x, want %x", name, w, i, r[i], refR[i])
+				}
+				if rn[i] != refRN[i] {
+					t.Fatalf("%s width %d: ResidualNorm2 r[%d] = %x, want %x", name, w, i, rn[i], refRN[i])
+				}
+			}
+			if norm != refNorm {
+				t.Fatalf("%s width %d: ResidualNorm2 = %x, want %x", name, w, norm, refNorm)
+			}
+			if ss != refSS {
+				t.Fatalf("%s width %d: SumSquares = %x, want %x", name, w, ss, refSS)
+			}
+		})
+	}
+}
+
+func TestFusedResidualNormExact(t *testing.T) {
+	mats := testMatrices(t)
+	rng := rand.New(rand.NewSource(3))
+	withWorkers(t, func(t *testing.T, w int) {
+		for name, a := range mats {
+			x := randVec(rng, a.N)
+			b := randVec(rng, a.N)
+			r1 := make([]float64, a.N)
+			a.Residual(b, x, r1)
+			want := sparse.Norm2(r1)
+			r2 := make([]float64, a.N)
+			got := a.ResidualNorm2(b, x, r2)
+			if got != want {
+				t.Errorf("%s width %d: ResidualNorm2 = %x, Residual+Norm2 = %x", name, w, got, want)
+			}
+			for i := range r1 {
+				if r1[i] != r2[i] {
+					t.Fatalf("%s width %d: r[%d] differs: %x vs %x", name, w, i, r1[i], r2[i])
+				}
+			}
+		}
+	})
+}
+
+func TestKernelsCorrectness(t *testing.T) {
+	mats := testMatrices(t)
+	rng := rand.New(rand.NewSource(5))
+	for name, a := range mats {
+		x := randVec(rng, a.N)
+		b := randVec(rng, a.N)
+		want := refMulVec(a, x)
+		y := make([]float64, a.N)
+		a.MulVec(x, y)
+		r := make([]float64, a.N)
+		norm := a.ResidualNorm2(b, x, r)
+		nsq := 0.0
+		for i := range y {
+			if math.Abs(y[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("%s: MulVec[%d] = %g, want %g", name, i, y[i], want[i])
+			}
+			d := b[i] - want[i]
+			if math.Abs(r[i]-d) > 1e-9*(1+math.Abs(d)) {
+				t.Fatalf("%s: Residual[%d] = %g, want %g", name, i, r[i], d)
+			}
+			nsq += d * d
+		}
+		if math.Abs(norm-math.Sqrt(nsq)) > 1e-9*(1+math.Sqrt(nsq)) {
+			t.Errorf("%s: ResidualNorm2 = %g, want %g", name, norm, math.Sqrt(nsq))
+		}
+	}
+}
+
+// refToCSR accumulates duplicates per (row, col) in insertion order — the
+// documented ToCSR semantics — then applies the zero-drop rule. Compared
+// bitwise.
+func refToCSR(c *sparse.COO) *sparse.CSR {
+	type ent struct {
+		col int
+		val float64
+	}
+	rows := make([][]ent, c.N)
+	for e := range c.Rows {
+		i, j, v := c.Rows[e], c.Cols[e], c.Vals[e]
+		found := false
+		for k := range rows[i] {
+			if rows[i][k].col == j {
+				rows[i][k].val += v
+				found = true
+				break
+			}
+		}
+		if !found {
+			rows[i] = append(rows[i], ent{j, v})
+		}
+	}
+	a := &sparse.CSR{N: c.N, RowPtr: make([]int, c.N+1)}
+	for i, row := range rows {
+		// insertion sort by column
+		for p := 1; p < len(row); p++ {
+			e := row[p]
+			q := p - 1
+			for q >= 0 && row[q].col > e.col {
+				row[q+1] = row[q]
+				q--
+			}
+			row[q+1] = e
+		}
+		for _, e := range row {
+			if e.val != 0 || e.col == i {
+				a.Col = append(a.Col, e.col)
+				a.Val = append(a.Val, e.val)
+			}
+		}
+		a.RowPtr[i+1] = len(a.Col)
+	}
+	return a
+}
+
+func csrEqualExact(t *testing.T, name string, got, want *sparse.CSR) {
+	t.Helper()
+	if got.N != want.N || len(got.Col) != len(want.Col) {
+		t.Fatalf("%s: shape mismatch: n=%d nnz=%d, want n=%d nnz=%d", name, got.N, len(got.Col), want.N, len(want.Col))
+	}
+	for i := range got.RowPtr {
+		if got.RowPtr[i] != want.RowPtr[i] {
+			t.Fatalf("%s: RowPtr[%d] = %d, want %d", name, i, got.RowPtr[i], want.RowPtr[i])
+		}
+	}
+	for k := range got.Col {
+		if got.Col[k] != want.Col[k] || got.Val[k] != want.Val[k] {
+			t.Fatalf("%s: entry %d = (%d, %x), want (%d, %x)", name, k, got.Col[k], got.Val[k], want.Col[k], want.Val[k])
+		}
+	}
+}
+
+// randomCOO builds a builder with duplicates, zeros, and cancelling pairs.
+func randomCOO(rng *rand.Rand, n, epr int) *sparse.COO {
+	c := sparse.NewCOO(n, epr*n)
+	for i := 0; i < n; i++ {
+		c.Add(i, i, 1+rng.Float64())
+		for e := 0; e < epr; e++ {
+			j := rng.Intn(n)
+			v := rng.NormFloat64()
+			c.Add(i, j, v)
+			switch rng.Intn(4) {
+			case 0:
+				c.Add(i, j, rng.NormFloat64()) // duplicate
+			case 1:
+				c.Add(i, j, -v) // cancels to exactly zero
+			case 2:
+				c.Add(i, rng.Intn(n), 0) // explicit zero
+			}
+		}
+	}
+	return c
+}
+
+func TestToCSRMatchesReferenceAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	small := randomCOO(rng, 200, 6)
+	big := randomCOO(rng, 20000, 10) // > convShardGrain entries: multi-shard
+	for name, c := range map[string]*sparse.COO{"small": small, "big": big} {
+		want := refToCSR(c)
+		withWorkers(t, func(t *testing.T, w int) {
+			got := c.ToCSR()
+			if err := got.Validate(); err != nil {
+				t.Fatalf("%s width %d: invalid CSR: %v", name, w, err)
+			}
+			csrEqualExact(t, name, got, want)
+		})
+	}
+}
+
+// refTranspose is the sequential counting-sort transpose the parallel
+// version must reproduce exactly.
+func refTranspose(a *sparse.CSR) *sparse.CSR {
+	n := a.N
+	t := &sparse.CSR{
+		N:      n,
+		RowPtr: make([]int, n+1),
+		Col:    make([]int, a.NNZ()),
+		Val:    make([]float64, a.NNZ()),
+	}
+	for _, j := range a.Col {
+		t.RowPtr[j+1]++
+	}
+	for i := 0; i < n; i++ {
+		t.RowPtr[i+1] += t.RowPtr[i]
+	}
+	next := make([]int, n)
+	copy(next, t.RowPtr[:n])
+	for i := 0; i < n; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.Col[k]
+			t.Col[next[j]] = i
+			t.Val[next[j]] = a.Val[k]
+			next[j]++
+		}
+	}
+	return t
+}
+
+func TestTransposeMatchesReferenceAcrossWorkers(t *testing.T) {
+	for name, a := range testMatrices(t) {
+		want := refTranspose(a)
+		withWorkers(t, func(t *testing.T, w int) {
+			got := a.Transpose()
+			if err := got.Validate(); err != nil {
+				t.Fatalf("%s width %d: invalid transpose: %v", name, w, err)
+			}
+			csrEqualExact(t, name, got, want)
+		})
+	}
+}
+
+func TestDiagLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for name, a := range testMatrices(t) {
+		d := a.Diag()
+		for i := 0; i < a.N; i++ {
+			if want := a.At(i, i); d[i] != want {
+				t.Fatalf("%s: Diag[%d] = %g, want %g", name, i, d[i], want)
+			}
+		}
+		_ = rng
+	}
+	// A matrix with missing diagonal entries.
+	c := sparse.NewCOO(5, 8)
+	c.Add(0, 1, 1)
+	c.Add(1, 1, 3)
+	c.Add(2, 4, 2)
+	c.Add(4, 0, 1)
+	a := c.ToCSR()
+	want := []float64{0, 3, 0, 0, 0}
+	for i, v := range a.Diag() {
+		if v != want[i] {
+			t.Fatalf("Diag[%d] = %g, want %g", i, v, want[i])
+		}
+	}
+}
