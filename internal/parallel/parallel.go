@@ -51,23 +51,45 @@ type Task struct {
 	// F executes one block. It must touch only state owned by that block.
 	F func(block int)
 
-	n    atomic.Int32
-	next atomic.Int32
+	// meta and next pack a region generation (high 32 bits) with a
+	// per-region value (low 32 bits): meta holds the block count, next the
+	// next unclaimed block index. Run opens a region by bumping the
+	// generation in both; helpers claim blocks by CAS on next, so a claim
+	// can only succeed against the region it was read from. A helper left
+	// over from an earlier region (e.g. a pool worker dequeuing a Task that
+	// has since been reset for a different block count) therefore either
+	// joins the current region cleanly or sees it exhausted and returns —
+	// it can never claim an out-of-range block or double-count done.
+	meta atomic.Uint64
+	next atomic.Uint64
 	done atomic.Int32
 	fin  chan struct{}
 }
 
-// help claims and executes blocks until the region is exhausted. Whichever
-// executor completes the final block signals the region's fin channel.
+// help claims and executes blocks until the current region is exhausted.
+// Whichever executor completes the final block signals the region's fin
+// channel. Every claim re-reads the region generation and block count, so
+// help is safe to run late: if the Task has moved on to a new region it
+// simply helps that region instead.
 func (t *Task) help() {
-	n := t.n.Load()
 	for {
-		b := t.next.Add(1) - 1
+		s := t.next.Load()
+		gen := uint32(s >> 32)
+		m := t.meta.Load()
+		if uint32(m>>32) != gen {
+			// Run is mid-reset between storing meta and next; re-read.
+			continue
+		}
+		b := int32(s)
+		n := int32(m)
 		if b >= n {
 			return
 		}
+		if !t.next.CompareAndSwap(s, s+1) {
+			continue
+		}
 		t.F(int(b))
-		if t.done.Add(1) == t.n.Load() {
+		if t.done.Add(1) == n {
 			t.fin <- struct{}{}
 		}
 	}
@@ -154,9 +176,14 @@ func (p *Pool) Run(t *Task, nblocks int) {
 	if t.fin == nil {
 		t.fin = make(chan struct{}, 1)
 	}
-	t.n.Store(int32(nblocks))
+	// Open a new region generation. done must be reset before next exposes
+	// the new generation: a stale helper can only touch done after a
+	// successful gen-tagged claim, and all of the previous region's done
+	// increments happened before its fin receive above a prior Run return.
+	gen := uint64(uint32(t.meta.Load()>>32) + 1)
 	t.done.Store(0)
-	t.next.Store(0)
+	t.meta.Store(gen<<32 | uint64(uint32(nblocks)))
+	t.next.Store(gen << 32)
 	helpers := p.width - 1
 	if nblocks-1 < helpers {
 		helpers = nblocks - 1

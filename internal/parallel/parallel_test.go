@@ -151,6 +151,32 @@ func TestPoolRunReuseTask(t *testing.T) {
 	}
 }
 
+// TestPoolRunReuseTaskResize reuses one Task across regions of very
+// different block counts, large to small, on a wide pool. This is the
+// kernel-scratch recycling pattern (e.g. multigrid fine vs coarse levels):
+// a helper goroutine left over from a large region must never claim a block
+// index of the old region after Run resets the Task for a smaller one —
+// counts is sized to the current region, so any stale claim panics or
+// double-counts.
+func TestPoolRunReuseTaskResize(t *testing.T) {
+	p := NewPool(7)
+	defer p.Close()
+	sizes := []int{257, 3, 64, 1, 200, 2, 31}
+	var counts []int32
+	var task Task
+	task.F = func(b int) { atomic.AddInt32(&counts[b], 1) }
+	for iter := 0; iter < 500; iter++ {
+		nb := sizes[iter%len(sizes)]
+		counts = make([]int32, nb)
+		p.Run(&task, nb)
+		for b, c := range counts {
+			if c != 1 {
+				t.Fatalf("iter %d nb=%d: block %d ran %d times", iter, nb, b, c)
+			}
+		}
+	}
+}
+
 func TestPoolRunAfterClose(t *testing.T) {
 	p := NewPool(4)
 	p.Close()
