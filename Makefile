@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race chaos-smoke bench-kernels verify bench clean
+.PHONY: build test vet lint race chaos-smoke bench-kernels bench-ldl verify bench clean
 
 build:
 	$(GO) build ./...
@@ -29,7 +29,7 @@ lint: vet
 # race-free and bit-identical to their sequential forms, faults included
 # (DESIGN.md §6, §9).
 race:
-	$(GO) test -race ./internal/rma/... ./internal/dmem/... ./internal/parallel/... ./internal/sparse/...
+	$(GO) test -race ./internal/rma/... ./internal/dmem/... ./internal/parallel/... ./internal/sparse/... ./internal/spdirect/...
 
 # End-to-end fault-injection smoke: both binaries on a small problem with
 # delay faults. Exercises flag validation, the chaos table, and the
@@ -45,13 +45,21 @@ bench-kernels:
 	$(GO) test -run 'TestKernelAllocGate' ./internal/sparse/
 	$(GO) test -bench 'BenchmarkKernels' -benchtime 1x -run '^$$' ./internal/sparse/ >/dev/null
 
-verify: build lint test race chaos-smoke bench-kernels
+# LDL' smoke: the allocs/op regression gate against BENCH_ldl.json (Solve
+# and Refactor must stay allocation-free) plus one iteration of each
+# sparse-pipeline benchmark. The dense baseline (BenchmarkDenseLU) is
+# deliberately excluded -- its O(n^3) factor would add minutes to verify.
+bench-ldl:
+	$(GO) test -run 'TestLDLAllocGate' ./internal/spdirect/
+	$(GO) test -bench 'BenchmarkLDL' -benchtime 1x -run '^$$' ./internal/spdirect/ >/dev/null
 
-# Micro-benchmarks for the phase engine, message path, and numerical
-# kernels (see BENCH_rma.json and BENCH_kernels.json for recorded
-# baselines).
+verify: build lint test race chaos-smoke bench-kernels bench-ldl
+
+# Micro-benchmarks for the phase engine, message path, numerical kernels,
+# and sparse local solver (see BENCH_rma.json, BENCH_kernels.json, and
+# BENCH_ldl.json for recorded baselines).
 bench:
-	$(GO) test -bench . -benchmem -run '^$$' ./internal/rma/ ./internal/dmem/ ./internal/bench/ ./internal/sparse/
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/rma/ ./internal/dmem/ ./internal/bench/ ./internal/sparse/ ./internal/spdirect/
 
 clean:
 	$(GO) clean ./...

@@ -17,6 +17,8 @@
 //	-out DIR       write one file per experiment into DIR instead of stdout
 //	-par N         run up to N suite runs concurrently (default GOMAXPROCS;
 //	               output is identical for every value)
+//	-loc_solver S  local subdomain solver for every run: gs (default),
+//	               direct (sparse LDLT), or auto (per-rank crossover)
 //	-goroutines    run each simulated world on the rma worker-pool engine
 //	-chaos P       inject delay faults: each message delayed 1-3 phases with
 //	               probability P (deterministic per -chaos-seed)
@@ -35,6 +37,7 @@ import (
 	"runtime/pprof"
 
 	"southwell/internal/bench"
+	"southwell/internal/dmem"
 	"southwell/internal/parallel"
 	"southwell/internal/rma"
 )
@@ -55,6 +58,20 @@ var experiments = []struct {
 	{"deadlock", bench.Deadlock},
 	{"ablation", bench.Ablation},
 	{"chaos", bench.Chaos},
+}
+
+// parseLocSolver resolves the -loc_solver flag (shared vocabulary with
+// cmd/dsouthwell).
+func parseLocSolver(s string) (dmem.LocalSolver, error) {
+	switch s {
+	case "gs":
+		return dmem.LocalGS, nil
+	case "direct", "pardiso":
+		return dmem.LocalDirect, nil
+	case "auto":
+		return dmem.LocalAuto, nil
+	}
+	return 0, fmt.Errorf("-loc_solver %q: unknown (use gs, direct, pardiso, or auto)", s)
 }
 
 // validate rejects nonsensical flag combinations before any experiment
@@ -85,6 +102,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "initial-guess and partition seed")
 	outDir := flag.String("out", "", "write one file per experiment into this directory")
 	par := flag.Int("par", runtime.GOMAXPROCS(0), "max concurrent suite runs (1 = sequential)")
+	locSolver := flag.String("loc_solver", "gs", "local subdomain solver for every run: gs, direct (sparse LDLT), or auto")
 	kernelWorkers := flag.Int("kernel-workers", 0, "workers for the shared numerical-kernel pool; results are identical for every value (0 = SOUTHWELL_KERNEL_WORKERS env or GOMAXPROCS, 1 = sequential kernels)")
 	goroutines := flag.Bool("goroutines", false, "run simulated worlds on the rma worker-pool engine")
 	chaos := flag.Float64("chaos", 0, "inject delay faults into every run: per-message probability of a 1-3 phase delivery delay (0 = perfect network)")
@@ -94,6 +112,11 @@ func main() {
 	flag.Parse()
 
 	if err := validate(*ranks, *steps, *par, *kernelWorkers, *chaos); err != nil {
+		fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+		os.Exit(2)
+	}
+	local, err := parseLocSolver(*locSolver)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
 		os.Exit(2)
 	}
@@ -114,11 +137,11 @@ func main() {
 	}
 
 	cfg := bench.Config{Ranks: *ranks, Steps: *steps, Quick: *quick, Seed: *seed,
-		Par: *par, Goroutines: *goroutines, ChaosSeed: *chaosSeed}
+		Par: *par, Goroutines: *goroutines, ChaosSeed: *chaosSeed, Local: local}
 	if *chaos > 0 {
 		cfg.Faults = rma.DelayPlan(*chaosSeed, *chaos, 3)
 	}
-	err := run(cfg, flag.Args(), *outDir)
+	err = run(cfg, flag.Args(), *outDir)
 
 	// Flush profiles before exiting, even on experiment failure.
 	if *cpuProfile != "" {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"southwell/internal/bench"
+	"southwell/internal/dmem"
 )
 
 func TestValidateRejectsBadFlags(t *testing.T) {
@@ -47,6 +48,26 @@ func TestValidateAcceptsGoodFlags(t *testing.T) {
 		if err := validate(tc.ranks, tc.steps, tc.par, tc.kw, tc.chaos); err != nil {
 			t.Errorf("validate(%d,%d,%d,%g): %v", tc.ranks, tc.steps, tc.par, tc.chaos, err)
 		}
+	}
+}
+
+func TestParseLocSolver(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want dmem.LocalSolver
+	}{
+		{"gs", dmem.LocalGS},
+		{"direct", dmem.LocalDirect},
+		{"pardiso", dmem.LocalDirect},
+		{"auto", dmem.LocalAuto},
+	} {
+		got, err := parseLocSolver(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("parseLocSolver(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := parseLocSolver("ilu"); err == nil || !strings.Contains(err.Error(), "-loc_solver") {
+		t.Errorf("bad value not rejected by flag name: %v", err)
 	}
 }
 

@@ -59,8 +59,10 @@ func validate(ranks, sweepMax, grid int, solver, locSolver string, target, chaos
 		o.local = dmem.LocalGS
 	case "direct", "pardiso":
 		o.local = dmem.LocalDirect
+	case "auto":
+		o.local = dmem.LocalAuto
 	default:
-		return o, fmt.Errorf("-loc_solver %q: unknown (use gs, direct, or pardiso)", locSolver)
+		return o, fmt.Errorf("-loc_solver %q: unknown (use gs, direct, pardiso, or auto)", locSolver)
 	}
 	if chaos < 0 || chaos > 1 {
 		return o, fmt.Errorf("-chaos %g: must be a probability in [0, 1]", chaos)
@@ -80,7 +82,7 @@ func main() {
 		solver   = flag.String("solver", "sos_sds", "solver: sos_sds (Distributed Southwell), ps, bj, pb16")
 		sweepMax = flag.Int("sweep_max", 20, "number of parallel steps")
 		target   = flag.Float64("target", 0, "stop early at this residual norm (0 = run all steps)")
-		locSolve = flag.String("loc_solver", "gs", "local subdomain solver: gs (one Gauss-Seidel sweep) or direct (dense LU, the artifact's PARDISO option)")
+		locSolve = flag.String("loc_solver", "gs", "local subdomain solver: gs (one Gauss-Seidel sweep), direct (sparse LDLT, the artifact's PARDISO option), or auto (per-rank dense/sparse crossover)")
 		xZeros   = flag.Bool("x_zeros", false, "x = 0 and random b (default: random x, b = 0)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		parallel = flag.Bool("goroutines", false, "alias for -par (kept for artifact compatibility)")

@@ -79,6 +79,15 @@ func TestValidateAcceptsGoodFlags(t *testing.T) {
 	}
 
 	c = good()
+	c.locSolver = "auto"
+	if o, err = c.run(); err != nil {
+		t.Fatal(err)
+	}
+	if o.local != dmem.LocalAuto {
+		t.Errorf("-loc_solver auto misparsed: %+v", o)
+	}
+
+	c = good()
 	c.chaos = 0.25
 	if o, err = c.run(); err != nil {
 		t.Fatal(err)

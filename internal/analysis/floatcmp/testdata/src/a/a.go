@@ -56,3 +56,35 @@ func intEq(a, b int) bool {
 func against(x float64) bool {
 	return x == 0.5 // want `exact floating-point comparison x == 0\.5`
 }
+
+// The SPD pivot-rejection idiom from the sparse LDLᵀ factorization
+// (internal/spdirect): !(d > 0) catches zero, negative, AND NaN pivots in
+// one ordered comparison. It is not an equality, so it is out of scope —
+// the analyzer must stay silent.
+func pivotReject(d float64) bool {
+	return !(d > 0)
+}
+
+// The sparse-accumulator skip from the same factorization: structural
+// zeros contribute nothing, and zero is exactly representable, so the
+// exact-zero guard is legal.
+func scatterSkip(y []float64, lx []float64) float64 {
+	s := 0.0
+	for i, yi := range y {
+		if yi != 0 {
+			s += lx[i] * yi
+		}
+	}
+	return s
+}
+
+// A genuine nonzero bit-equality in numeric-kernel shape — e.g. "did the
+// refactorization reproduce the cached pivot bit-for-bit" — must carry a
+// justification to pass.
+func pivotUnchanged(dNew, dCached float64) bool {
+	return dNew == dCached //dslint:ignore floatcmp — bit-identity of cached pivots is the specified contract
+}
+
+func pivotUnchangedUnjustified(dNew, dCached float64) bool {
+	return dNew == dCached // want `exact floating-point comparison dNew == dCached`
+}

@@ -101,8 +101,14 @@ func FactorLU(a *Matrix) (*LU, error) {
 
 // Solve computes x with A x = b. b is not modified; x may alias b.
 func (f *LU) Solve(b, x []float64) {
+	f.SolveWith(b, x, make([]float64, f.lu.N))
+}
+
+// SolveWith is Solve with a caller-provided scratch vector y (length N),
+// so repeated solves against one factorization allocate nothing. y may not
+// alias b or x.
+func (f *LU) SolveWith(b, x, y []float64) {
 	n := f.lu.N
-	y := make([]float64, n)
 	for i := 0; i < n; i++ {
 		y[i] = b[f.piv[i]]
 	}

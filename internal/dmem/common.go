@@ -5,7 +5,9 @@ import (
 	"math"
 
 	"southwell/internal/dense"
+	"southwell/internal/parallel"
 	"southwell/internal/rma"
+	"southwell/internal/spdirect"
 )
 
 // LocalSolver selects how a rank relaxes its subdomain.
@@ -15,11 +17,27 @@ const (
 	// LocalGS performs one Gauss-Seidel sweep per relaxation — the
 	// artifact's `-loc_solver gs` default used in every paper experiment.
 	LocalGS LocalSolver = iota
-	// LocalDirect solves the local block exactly with a dense LU
-	// factorization computed at setup — the role MKL PARDISO plays in the
-	// artifact. Only sensible for small subdomains.
+	// LocalDirect solves the local block exactly through a sparse LDLᵀ
+	// factorization (internal/spdirect: RCM ordering, symbolic analysis,
+	// up-looking numeric factorization) computed once at setup and reused
+	// by every relaxation — the role MKL PARDISO plays in the artifact.
+	// Per-relaxation cost is O(nnz(L)), so the direct option is usable at
+	// every subdomain size, not just tiny blocks.
 	LocalDirect
+	// LocalAuto picks the exact local solver per rank: dense LU for tiny
+	// blocks (m ≤ autoDenseMax) and whenever the symbolic analysis predicts
+	// a sparse solve would cost more flops than a dense one (pathological
+	// fill), sparse LDLᵀ otherwise. See DESIGN.md §10 for the crossover
+	// policy.
+	LocalAuto
 )
+
+// autoDenseMax is LocalAuto's block-size crossover: at or below this many
+// rows a dense LU factor fits comfortably in cache and its branch-free
+// triangular solves beat the sparse solver's index-chasing, so sparse
+// bookkeeping is not worth carrying. Above it the choice falls to the
+// symbolic fill estimate (see newLocalFactor).
+const autoDenseMax = 64
 
 // Config controls a distributed solve.
 type Config struct {
@@ -214,11 +232,34 @@ type rankState struct {
 	sendBnd    [][]float64 // per neighbor: boundaryResiduals output, len(MyBnd[j])
 	resBnd     [][]float64 // per neighbor: explicit-update boundary residuals
 
-	// direct, when non-nil, is the dense factorization of the local block
-	// used by LocalDirect; dscratch is its solve buffer.
-	direct   *dense.LU
+	// direct, when non-nil, is the factorization of the local diagonal
+	// block used by LocalDirect/LocalAuto; dscratch is its solve buffer.
+	direct   localFactor
 	dscratch []float64
 }
+
+// localFactor is a factored local diagonal block: the factor-once /
+// solve-many contract both exact local solvers satisfy. Solve computes
+// x = A_pp⁻¹ b; SolveFlops is the per-solve flop count the α-β-γ cost
+// model charges (the factorization itself happens at setup, which the
+// paper does not time).
+type localFactor interface {
+	Solve(b, x []float64)
+	SolveFlops() float64
+}
+
+// denseFactor adapts dense.LU to the localFactor contract with a held
+// scratch vector, so steady-state dense solves allocate nothing either.
+type denseFactor struct {
+	lu      *dense.LU
+	m       int
+	scratch []float64
+}
+
+func (d *denseFactor) Solve(b, x []float64) { d.lu.SolveWith(b, x, d.scratch) }
+
+// SolveFlops: two triangular sweeps of an m×m factor.
+func (d *denseFactor) SolveFlops() float64 { m := float64(d.m); return 2 * m * m }
 
 // relaxLocal dispatches to the configured local solver and returns the
 // flop count to charge.
@@ -230,7 +271,10 @@ func (rs *rankState) relaxLocal() float64 {
 }
 
 // relaxDirect solves the local block exactly: x_p += A_pp^{-1} r_p, which
-// zeroes the local residual and accumulates -A_qp d into extDelta.
+// zeroes the local residual and accumulates -A_qp d into extDelta. The
+// charged cost is the factorization's actual solve cost (O(nnz(L)) for the
+// sparse backend, 2m² for the dense one) plus the coupling scatter and the
+// solution update — not the hard-coded dense estimate of old.
 func (rs *rankState) relaxDirect() float64 {
 	rd := rs.rd
 	d := rs.dscratch
@@ -244,12 +288,12 @@ func (rs *rankState) relaxDirect() float64 {
 			}
 		}
 	}
-	m := float64(rd.M())
-	return 2*m*m + float64(rd.NNZ)
+	return rs.direct.SolveFlops() + float64(rd.NNZ) + float64(rd.M())
 }
 
-// factorLocal builds the dense LU of the local diagonal block.
-func factorLocal(rd *RankData) (*dense.LU, error) {
+// factorLocalDense builds the dense LU of the local diagonal block —
+// LocalAuto's small-block path.
+func factorLocalDense(rd *RankData) (localFactor, error) {
 	m := rd.M()
 	dm := dense.NewMatrix(m)
 	for li := 0; li < m; li++ {
@@ -260,7 +304,68 @@ func factorLocal(rd *RankData) (*dense.LU, error) {
 			}
 		}
 	}
-	return dense.FactorLU(dm)
+	lu, err := dense.FactorLU(dm)
+	if err != nil {
+		return nil, err
+	}
+	return &denseFactor{lu: lu, m: m, scratch: make([]float64, m)}, nil
+}
+
+// localBlockCSR assembles rank rd's diagonal block A_pp as a standalone
+// CSR (local row/column indices, diagonal included) for the sparse
+// factorization. The block of a structurally symmetric matrix restricted
+// to one rank's rows is itself structurally symmetric, which is exactly
+// what spdirect.Analyze requires.
+func localBlockCSR(rd *RankData) (rowPtr, col []int, val []float64) {
+	m := rd.M()
+	rowPtr = make([]int, m+1)
+	for li := 0; li < m; li++ {
+		cnt := 1 // diagonal
+		for k := rd.RowPtr[li]; k < rd.RowPtr[li+1]; k++ {
+			if !rd.IsExt[k] {
+				cnt++
+			}
+		}
+		rowPtr[li+1] = rowPtr[li] + cnt
+	}
+	col = make([]int, rowPtr[m])
+	val = make([]float64, rowPtr[m])
+	w := 0
+	for li := 0; li < m; li++ {
+		col[w], val[w] = li, rd.Diag[li]
+		w++
+		for k := rd.RowPtr[li]; k < rd.RowPtr[li+1]; k++ {
+			if !rd.IsExt[k] {
+				col[w], val[w] = rd.ColLoc[k], rd.Val[k]
+				w++
+			}
+		}
+	}
+	return rowPtr, col, val
+}
+
+// newLocalFactor factors one rank's diagonal block under the configured
+// policy. LocalDirect always takes the sparse LDLᵀ path. LocalAuto goes
+// dense for tiny blocks, then consults the (cheap, values-free) symbolic
+// analysis: if the predicted sparse solve cost 4·nnz(L)+m is no better
+// than the dense 2m², the fill has defeated the sparse format and dense
+// wins; otherwise the numeric factorization proceeds on the already-built
+// analysis. Either way the choice is a pure function of the block, never
+// of scheduling, so concurrent setup stays deterministic.
+func newLocalFactor(rd *RankData, mode LocalSolver) (localFactor, error) {
+	m := rd.M()
+	if mode == LocalAuto && m <= autoDenseMax {
+		return factorLocalDense(rd)
+	}
+	rowPtr, col, val := localBlockCSR(rd)
+	sym, err := spdirect.Analyze(m, rowPtr, col, spdirect.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if mode == LocalAuto && sym.SolveFlops() >= 2*float64(m)*float64(m) {
+		return factorLocalDense(rd)
+	}
+	return sym.Factorize(val)
 }
 
 // newRankStates initializes per-rank state from a global initial guess,
@@ -421,21 +526,40 @@ func (rs *rankState) updateGhostAndGamma(j int) {
 	rs.gamma[j] = math.Sqrt(g2)
 }
 
-// configureLocal prepares the configured local solver on every rank. The
+// configureLocal prepares the configured local solver on every rank.
+// Ranks factor concurrently on the shared kernel pool: each rank's factor
+// is a pure sequential function of its own block, written to its own
+// state slot, so block boundaries and worker count never influence a
+// single bit of the result (the width bit-identity test pins this). The
 // diagonal blocks of an SPD matrix are SPD, so factorization failure means
 // the input violated the library's documented preconditions — panic rather
-// than limp on.
+// than limp on, with the lowest failing rank for determinism.
 func configureLocal(states []*rankState, cfg Config) {
-	if cfg.Local != LocalDirect {
+	if cfg.Local != LocalDirect && cfg.Local != LocalAuto {
 		return
 	}
-	for _, rs := range states {
-		lu, err := factorLocal(rs.rd)
-		if err != nil {
-			panic(fmt.Sprintf("dmem: local block of rank %d not factorizable: %v", rs.rd.P, err))
+	p := len(states)
+	nb := rankBlockCount(p)
+	blocks := parallel.SplitN(p, nb, make([]parallel.Range, 0, nb))
+	errs := make([]error, p)
+	var factor parallel.Task
+	factor.F = func(b int) {
+		for pr := blocks[b].Lo; pr < blocks[b].Hi; pr++ {
+			rs := states[pr]
+			lf, err := newLocalFactor(rs.rd, cfg.Local)
+			if err != nil {
+				errs[pr] = err
+				continue
+			}
+			rs.direct = lf
+			rs.dscratch = make([]float64, rs.rd.M())
 		}
-		rs.direct = lu
-		rs.dscratch = make([]float64, rs.rd.M())
+	}
+	parallel.Default().Run(&factor, nb)
+	for pr, err := range errs {
+		if err != nil {
+			panic(fmt.Sprintf("dmem: local block of rank %d not factorizable: %v", pr, err))
+		}
 	}
 }
 
