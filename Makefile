@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race chaos-smoke bench-kernels bench-ldl verify bench clean
+.PHONY: build test vet lint race chaos-smoke bench-kernels bench-ldl bench-obs verify bench clean
 
 build:
 	$(GO) build ./...
@@ -29,7 +29,7 @@ lint: vet
 # race-free and bit-identical to their sequential forms, faults included
 # (DESIGN.md §6, §9).
 race:
-	$(GO) test -race ./internal/rma/... ./internal/dmem/... ./internal/parallel/... ./internal/sparse/... ./internal/spdirect/...
+	$(GO) test -race ./internal/rma/... ./internal/dmem/... ./internal/parallel/... ./internal/sparse/... ./internal/spdirect/... ./internal/obs/...
 
 # End-to-end fault-injection smoke: both binaries on a small problem with
 # delay faults. Exercises flag validation, the chaos table, and the
@@ -53,13 +53,20 @@ bench-ldl:
 	$(GO) test -run 'TestLDLAllocGate' ./internal/spdirect/
 	$(GO) test -bench 'BenchmarkLDL' -benchtime 1x -run '^$$' ./internal/spdirect/ >/dev/null
 
-verify: build lint test race chaos-smoke bench-kernels bench-ldl
+# Observability smoke: the allocs/op regression gate against BENCH_obs.json
+# (the disabled emit path, the enabled ring write, and a fully traced phase
+# must all stay allocation-free) plus one iteration of the obs benchmarks.
+bench-obs:
+	$(GO) test -run 'TestObsAllocGate' ./internal/obs/
+	$(GO) test -bench 'BenchmarkObs' -benchtime 1x -run '^$$' ./internal/obs/ >/dev/null
+
+verify: build lint test race chaos-smoke bench-kernels bench-ldl bench-obs
 
 # Micro-benchmarks for the phase engine, message path, numerical kernels,
 # and sparse local solver (see BENCH_rma.json, BENCH_kernels.json, and
 # BENCH_ldl.json for recorded baselines).
 bench:
-	$(GO) test -bench . -benchmem -run '^$$' ./internal/rma/ ./internal/dmem/ ./internal/bench/ ./internal/sparse/ ./internal/spdirect/
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/rma/ ./internal/dmem/ ./internal/bench/ ./internal/sparse/ ./internal/spdirect/ ./internal/obs/
 
 clean:
 	$(GO) clean ./...

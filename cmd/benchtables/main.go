@@ -23,6 +23,10 @@
 //	-chaos P       inject delay faults: each message delayed 1-3 phases with
 //	               probability P (deterministic per -chaos-seed)
 //	-chaos-seed S  fault-injection seed (default 1)
+//	-trace DIR     write one Chrome trace-event JSON (Perfetto) per suite
+//	               run into DIR
+//	-metrics DIR   write one plain-text metrics summary per suite run into
+//	               DIR
 //	-cpuprofile F  write a pprof CPU profile to F
 //	-memprofile F  write a pprof heap profile to F on exit
 package main
@@ -74,11 +78,29 @@ func parseLocSolver(s string) (dmem.LocalSolver, error) {
 	return 0, fmt.Errorf("-loc_solver %q: unknown (use gs, direct, pardiso, or auto)", s)
 }
 
+// validateOutDir checks an output-directory flag up front: an existing
+// path must be a directory (a missing one is created on first write).
+func validateOutDir(flagName, path string) error {
+	if path == "" {
+		return nil
+	}
+	if fi, err := os.Stat(path); err == nil && !fi.IsDir() {
+		return fmt.Errorf("%s %q: exists and is not a directory", flagName, path)
+	}
+	return nil
+}
+
 // validate rejects nonsensical flag combinations before any experiment
 // starts, so misuse fails with one line instead of a deep panic.
-func validate(ranks, steps, par, kernelWorkers int, chaos float64) error {
+func validate(ranks, steps, par, kernelWorkers int, chaos float64, trace, metrics string) error {
 	if kernelWorkers < 0 {
 		return fmt.Errorf("-kernel-workers %d: must be >= 1 (or 0 for GOMAXPROCS)", kernelWorkers)
+	}
+	if err := validateOutDir("-trace", trace); err != nil {
+		return err
+	}
+	if err := validateOutDir("-metrics", metrics); err != nil {
+		return err
 	}
 	if ranks < 0 {
 		return fmt.Errorf("-ranks %d: must be >= 1 (or 0 for the default)", ranks)
@@ -107,11 +129,13 @@ func main() {
 	goroutines := flag.Bool("goroutines", false, "run simulated worlds on the rma worker-pool engine")
 	chaos := flag.Float64("chaos", 0, "inject delay faults into every run: per-message probability of a 1-3 phase delivery delay (0 = perfect network)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injection seed (chaos runs are bit-reproducible per seed)")
+	traceDir := flag.String("trace", "", "write one Chrome trace-event JSON per suite run into this directory (open in Perfetto)")
+	metricsDir := flag.String("metrics", "", "write one plain-text metrics summary per suite run into this directory")
 	cpuProfile := flag.String("cpuprofile", "", "write pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write pprof heap profile to this file on exit")
 	flag.Parse()
 
-	if err := validate(*ranks, *steps, *par, *kernelWorkers, *chaos); err != nil {
+	if err := validate(*ranks, *steps, *par, *kernelWorkers, *chaos, *traceDir, *metricsDir); err != nil {
 		fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
 		os.Exit(2)
 	}
@@ -137,7 +161,8 @@ func main() {
 	}
 
 	cfg := bench.Config{Ranks: *ranks, Steps: *steps, Quick: *quick, Seed: *seed,
-		Par: *par, Goroutines: *goroutines, ChaosSeed: *chaosSeed, Local: local}
+		Par: *par, Goroutines: *goroutines, ChaosSeed: *chaosSeed, Local: local,
+		TraceDir: *traceDir, MetricsDir: *metricsDir}
 	if *chaos > 0 {
 		cfg.Faults = rma.DelayPlan(*chaosSeed, *chaos, 3)
 	}

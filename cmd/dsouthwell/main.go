@@ -14,12 +14,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 
 	"southwell/internal/core"
 	"southwell/internal/dmem"
+	"southwell/internal/obs"
 	kernpool "southwell/internal/parallel"
 	"southwell/internal/problem"
 	"southwell/internal/rma"
@@ -33,13 +36,47 @@ type options struct {
 	faults *rma.FaultPlan
 }
 
+// validateOutFile checks an output-file flag up front: the path must not
+// be an existing directory and its parent directory must exist, so a typo
+// fails before the run instead of after minutes of simulation.
+func validateOutFile(flagName, path string) error {
+	if path == "" {
+		return nil
+	}
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		return fmt.Errorf("%s %q: is a directory, want a file path", flagName, path)
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		fi, err := os.Stat(dir)
+		if err != nil {
+			return fmt.Errorf("%s %q: parent directory %q does not exist", flagName, path, dir)
+		}
+		if !fi.IsDir() {
+			return fmt.Errorf("%s %q: parent %q is not a directory", flagName, path, dir)
+		}
+	}
+	return nil
+}
+
 // validate checks every flag value up front, so misuse fails with a
 // one-line message and exit status 2 instead of a deep panic or a
 // confusing error mid-run.
-func validate(ranks, sweepMax, grid int, solver, locSolver string, target, chaos float64, chaosSeed int64) (options, error) {
+func validate(ranks, sweepMax, grid int, solver, locSolver string, target, chaos float64, chaosSeed int64, kernWorkers int, trace, metrics string) (options, error) {
 	var o options
 	if ranks <= 0 {
 		return o, fmt.Errorf("-n %d: need at least 1 simulated rank", ranks)
+	}
+	if kernWorkers < 0 {
+		return o, fmt.Errorf("-kernel-workers %d: must be >= 1 (or 0 for GOMAXPROCS)", kernWorkers)
+	}
+	if err := validateOutFile("-trace", trace); err != nil {
+		return o, err
+	}
+	if err := validateOutFile("-metrics", metrics); err != nil {
+		return o, err
+	}
+	if trace != "" && trace == metrics {
+		return o, fmt.Errorf("-trace and -metrics %q: must be different files", trace)
 	}
 	if sweepMax <= 0 {
 		return o, fmt.Errorf("-sweep_max %d: need at least 1 parallel step", sweepMax)
@@ -91,18 +128,16 @@ func main() {
 		grid     = flag.Int("grid", 100, "grid dimension for the default Laplace problem")
 		chaos    = flag.Float64("chaos", 0, "inject delay faults: per-message probability of a 1-3 phase delivery delay (0 = perfect network)")
 		chaosSd  = flag.Int64("chaos-seed", 1, "fault-injection seed (chaos runs are bit-reproducible per seed)")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON timeline of the run to this file (open in Perfetto; one track per simulated rank)")
+		metrics  = flag.String("metrics", "", "write a plain-text per-step / per-rank metrics summary of the run to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write pprof CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write pprof heap profile to this file on exit")
 	)
 	flag.Parse()
 
-	opts, err := validate(*ranks, *sweepMax, *grid, *solver, *locSolve, *target, *chaos, *chaosSd)
+	opts, err := validate(*ranks, *sweepMax, *grid, *solver, *locSolve, *target, *chaos, *chaosSd, *kernWkrs, *traceOut, *metrics)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dsouthwell: %v\n", err)
-		os.Exit(2)
-	}
-	if *kernWkrs < 0 {
-		fmt.Fprintf(os.Stderr, "dsouthwell: -kernel-workers %d: must be >= 1 (or 0 for GOMAXPROCS)\n", *kernWkrs)
 		os.Exit(2)
 	}
 	if *kernWkrs > 0 {
@@ -166,14 +201,39 @@ func main() {
 		fmt.Printf("chaos:     delay prob %g, max 3 phases, seed %d\n", *chaos, *chaosSd)
 	}
 
-	res, err := core.SolveDistributed(a, b, x, core.DistOptions{
+	opt := core.DistOptions{
 		Method: opts.method, Ranks: *ranks, Steps: *sweepMax, Target: *target,
 		PartSeed: *seed, Parallel: *parallel || *par, Local: opts.local,
 		Faults: opts.faults,
-	})
+	}
+	var rec *obs.Recorder
+	var poolBase kernpool.PoolStats
+	if *traceOut != "" || *metrics != "" {
+		rec = obs.NewRecorder(*ranks)
+		rec.SetLabel(fmt.Sprintf("%s %s p=%d", label, opts.method, *ranks))
+		opt.Trace = rec
+		poolBase = kernpool.Default().Stats()
+	}
+	res, err := core.SolveDistributed(a, b, x, opt)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dsouthwell: %v\n", err)
 		os.Exit(1)
+	}
+	if rec != nil {
+		ps := kernpool.Default().Stats()
+		rec.SetPool(obs.PoolStats{
+			Regions: ps.Regions - poolBase.Regions,
+			Blocks:  ps.Blocks - poolBase.Blocks,
+			Width:   ps.Width,
+		})
+		if err := writeObs(*traceOut, rec.WriteTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "dsouthwell: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := writeObs(*metrics, rec.WriteMetrics); err != nil {
+			fmt.Fprintf(os.Stderr, "dsouthwell: -metrics: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	fin := res.Final()
@@ -192,6 +252,22 @@ func main() {
 	if res.Deadlocked {
 		fmt.Printf("DEADLOCKED at step %d (stagnation watchdog)\n", res.DeadlockStep)
 	}
+}
+
+// writeObs writes one observability export to path (no-op when empty).
+func writeObs(path string, fn func(io.Writer) error) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func loadMatrix(name, file string, grid int) (*sparse.CSR, string, error) {

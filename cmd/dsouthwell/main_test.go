@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -9,14 +11,17 @@ import (
 )
 
 type flagCase struct {
-	name      string
-	ranks     int
-	sweepMax  int
-	grid      int
-	solver    string
-	locSolver string
-	target    float64
-	chaos     float64
+	name        string
+	ranks       int
+	sweepMax    int
+	grid        int
+	solver      string
+	locSolver   string
+	target      float64
+	chaos       float64
+	kernWorkers int
+	trace       string
+	metrics     string
 }
 
 func good() flagCase {
@@ -24,7 +29,7 @@ func good() flagCase {
 }
 
 func (c flagCase) run() (options, error) {
-	return validate(c.ranks, c.sweepMax, c.grid, c.solver, c.locSolver, c.target, c.chaos, 1)
+	return validate(c.ranks, c.sweepMax, c.grid, c.solver, c.locSolver, c.target, c.chaos, 1, c.kernWorkers, c.trace, c.metrics)
 }
 
 func TestValidateRejectsBadFlags(t *testing.T) {
@@ -42,6 +47,12 @@ func TestValidateRejectsBadFlags(t *testing.T) {
 		{func(c *flagCase) { c.locSolver = "ilu" }, "-loc_solver"},
 		{func(c *flagCase) { c.chaos = -0.1 }, "-chaos"},
 		{func(c *flagCase) { c.chaos = 1.5 }, "-chaos"},
+		{func(c *flagCase) { c.kernWorkers = -1 }, "-kernel-workers"},
+		{func(c *flagCase) { c.trace = "." }, "-trace"},
+		{func(c *flagCase) { c.metrics = "." }, "-metrics"},
+		{func(c *flagCase) { c.trace = "no/such/dir/t.json" }, "-trace"},
+		{func(c *flagCase) { c.metrics = "no/such/dir/m.txt" }, "-metrics"},
+		{func(c *flagCase) { c.trace, c.metrics = "same.out", "same.out" }, "-metrics"},
 	}
 	for _, tc := range cases {
 		c := good()
@@ -94,5 +105,20 @@ func TestValidateAcceptsGoodFlags(t *testing.T) {
 	}
 	if o.faults == nil || o.faults.DelayProb != 0.25 {
 		t.Errorf("chaos plan not built: %+v", o.faults)
+	}
+
+	// Distinct trace/metrics files into an existing directory are fine, as
+	// is overwriting an existing regular file.
+	c = good()
+	dir := t.TempDir()
+	existing := filepath.Join(dir, "old.trace.json")
+	if err := os.WriteFile(existing, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c.trace = existing
+	c.metrics = filepath.Join(dir, "run.metrics.txt")
+	c.kernWorkers = 2
+	if _, err = c.run(); err != nil {
+		t.Errorf("valid trace/metrics paths rejected: %v", err)
 	}
 }

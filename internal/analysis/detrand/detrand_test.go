@@ -11,6 +11,7 @@ func TestDetrand(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), detrand.Analyzer,
 		"internal/rma",      // deterministic package: violations flagged
 		"internal/parallel", // kernel fan-out layer: same scope
+		"internal/obs",      // observability layer: simulated-clock only
 		"other",             // out of scope: same calls, no diagnostics
 	)
 }

@@ -1,0 +1,34 @@
+// Fixture: the observability layer (path suffix internal/obs) is in the
+// deterministic scope — trace timestamps must come from the simulated
+// clock, never the wall clock, and sampling decisions must not consult
+// global randomness, or the exported bytes stop being golden-testable.
+package obs
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Event mirrors the real trace record shape.
+type Event struct {
+	Ts   float64
+	Kind uint8
+}
+
+// stampSim carries the simulated clock in from the producer: allowed.
+func stampSim(simNow float64, kind uint8) Event {
+	return Event{Ts: simNow, Kind: kind}
+}
+
+func stampWall(kind uint8) Event {
+	return Event{Ts: float64(time.Now().UnixNano()), Kind: kind} // want `wall-clock dependence \(time\.Now\)`
+}
+
+func sampleBad(e Event) bool {
+	return rand.Float64() < 0.01 // want `global math/rand state \(rand\.Float64\)`
+}
+
+// sampleSeeded threads a caller-seeded generator: allowed.
+func sampleSeeded(rng *rand.Rand, e Event) bool {
+	return rng.Float64() < 0.01
+}

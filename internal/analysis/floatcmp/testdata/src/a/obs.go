@@ -1,0 +1,26 @@
+// Observability-layer shapes: the trace exporter's float handling is
+// where an exact comparison is either the one legal idiom (NaN clamp,
+// unset-timestamp sentinel) or a subtle nondeterminism bug (deduplicating
+// events by timestamp equality).
+package a
+
+// jsonFloat mirrors the exporter's non-finite clamp: the x != x NaN test
+// is the specified idiom and must stay silent.
+func jsonFloat(v float64) float64 {
+	if v != v {
+		return 0
+	}
+	return v
+}
+
+// tsUnset mirrors the zero-timestamp sentinel: exact-zero is legal.
+func tsUnset(ts float64) bool {
+	return ts == 0
+}
+
+// samePhaseEnd deduplicates by timestamp bit-equality without a
+// justification: flagged — simulated costs are accumulated floats, and
+// two logically simultaneous events need not share low bits.
+func samePhaseEnd(a, b float64) bool {
+	return a == b // want `exact floating-point comparison a == b`
+}

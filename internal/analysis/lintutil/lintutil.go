@@ -23,6 +23,7 @@ var DeterministicPkgs = []string{
 	"internal/partition",
 	"internal/problem",
 	"internal/parallel",
+	"internal/obs",
 }
 
 // MapOrderPkgs lists the packages where map iteration order can leak into
@@ -31,6 +32,7 @@ var MapOrderPkgs = []string{
 	"internal/rma",
 	"internal/dmem",
 	"internal/parallel",
+	"internal/obs",
 }
 
 // MatchAny reports whether pkgPath equals one of the patterns or ends with

@@ -11,5 +11,6 @@ func TestMaporder(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), maporder.Analyzer,
 		"internal/dmem",
 		"internal/parallel",
+		"internal/obs",
 	)
 }

@@ -1,0 +1,37 @@
+// Fixture: exporter shapes for the observability layer (path suffix
+// internal/obs, in the maporder scope). A trace or metrics exporter that
+// walks a map in hash order writes different bytes on every run, which
+// breaks the golden-file and engine-equivalence tests.
+package obs
+
+import "sort"
+
+// exportSorted is the legal idiom: collect keys, sort, then emit.
+func exportSorted(counts map[string]int64) []string {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// exportUnsorted appends track names in map order: the exported byte
+// stream would depend on the runtime's hash seed.
+func exportUnsorted(counts map[string]int64) []string {
+	var out []string
+	for k := range counts { // want `order-sensitive iteration over map counts \(append to out\)`
+		out = append(out, k)
+	}
+	return out
+}
+
+// totalCost folds per-rank float costs in map order: non-associative
+// addition makes the summary's low bits run-dependent.
+func totalCost(cost map[int]float64) float64 {
+	sum := 0.0
+	for _, c := range cost { // want `order-sensitive iteration over map cost \(floating-point accumulation into sum\)`
+		sum += c
+	}
+	return sum
+}

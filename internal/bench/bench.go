@@ -14,11 +14,15 @@ package bench
 
 import (
 	"fmt"
+	"hash/fnv"
 	"io"
+	"os"
+	"path/filepath"
 	"sync"
 
 	"southwell/internal/core"
 	"southwell/internal/dmem"
+	"southwell/internal/obs"
 	"southwell/internal/parallel"
 	"southwell/internal/partition"
 	"southwell/internal/problem"
@@ -62,22 +66,41 @@ type Config struct {
 	// ChaosSeed seeds the delay plans the Chaos driver builds (default 1).
 	ChaosSeed int64
 	// KernelWorkers resizes the shared numerical-kernel pool
-	// (parallel.SetDefaultWorkers) before suite runs execute: -1 forces
-	// sequential kernels, 0 leaves the pool as configured (the default).
-	// Like Par and Goroutines, it never changes results — the kernels are
-	// bit-identical for every worker count (see internal/parallel).
+	// (parallel.SetDefaultWorkers) for the duration of a driver run: -1
+	// forces sequential kernels, 0 leaves the pool as configured (the
+	// default). Like Par and Goroutines, it never changes results — the
+	// kernels are bit-identical for every worker count (see
+	// internal/parallel). The drivers restore the previous width on return
+	// (pushKernelWorkers), so the setting never leaks into the caller's
+	// process or across suite runs.
 	KernelWorkers int
+	// TraceDir, when non-empty, makes every non-cached suite run record a
+	// structured event trace (internal/obs) and write it as Chrome
+	// trace-event JSON — one <run>.trace.json per (matrix, method, ranks,
+	// steps) — into this directory. Tracing never changes results.
+	TraceDir string
+	// MetricsDir, like TraceDir, but writes the plain-text per-rank /
+	// per-step metrics summary as <run>.metrics.txt.
+	MetricsDir string
 }
 
-// applyKernelWorkers resizes the shared kernel pool per the config; 0
-// means "leave it alone" so a zero-value Config composes with callers that
-// configured the pool themselves.
-func (c Config) applyKernelWorkers() {
-	if c.KernelWorkers > 0 {
-		parallel.SetDefaultWorkers(c.KernelWorkers)
-	} else if c.KernelWorkers < 0 {
-		parallel.SetDefaultWorkers(1)
+// pushKernelWorkers resizes the shared kernel pool per the config and
+// returns a restore function for the previous width; the drivers defer it
+// so the process-global pool configuration cannot leak out of a driver
+// call. KernelWorkers == 0 means "leave it alone" (the restore is a no-op)
+// so a zero-value Config composes with callers that configured the pool
+// themselves.
+func (c Config) pushKernelWorkers() func() {
+	if c.KernelWorkers == 0 {
+		return func() {}
 	}
+	prev := parallel.Default().Workers()
+	n := c.KernelWorkers
+	if n < 0 {
+		n = 1
+	}
+	parallel.SetDefaultWorkers(n)
+	return func() { parallel.SetDefaultWorkers(prev) }
 }
 
 func (c Config) ranks() int {
@@ -211,7 +234,6 @@ func partitionFor(name string, a *sparse.CSR, ranks int, seed int64) []int {
 // runSuite runs (with caching) one method on one suite matrix, using the
 // config's seed and world engine.
 func runSuite(cfg Config, name string, method core.DistMethod, ranks, steps int) (*dmem.Result, error) {
-	cfg.applyKernelWorkers()
 	key := runKey{
 		name: name, method: method, ranks: ranks, steps: steps,
 		seed: cfg.seed(), local: cfg.Local, model: cfg.costModel(),
@@ -230,13 +252,33 @@ func runSuite(cfg Config, name string, method core.DistMethod, ranks, steps int)
 	}
 	part := partitionFor(name, a, ranks, cfg.seed())
 	b, x := problem.ZeroBSystem(a, cfg.seed())
-	res, err := core.SolveDistributed(a, b, x, core.DistOptions{
+	opt := core.DistOptions{
 		Method: method, Ranks: ranks, Steps: steps, Part: part,
 		Parallel: cfg.Goroutines,
 		Local:    cfg.Local, Model: cfg.Model, Faults: cfg.Faults,
-	})
+	}
+	// Trace hook: any table/figure run can dump its per-rank timeline.
+	// Cached runs skip this path, so each run key is exported exactly once
+	// (by whichever call executed the world). No kernel-pool snapshot is
+	// attached here: the pool counters are process-global, so a per-run
+	// delta is only well-defined when exactly one run is in flight — under
+	// the -par prefetch driver it would absorb concurrent runs' regions
+	// and the exported bytes would stop being a pure function of the run
+	// (cmd/dsouthwell, which solves exactly once per process, keeps it).
+	var rec *obs.Recorder
+	if cfg.TraceDir != "" || cfg.MetricsDir != "" {
+		rec = obs.NewRecorder(ranks)
+		rec.SetLabel(traceBase(key))
+		opt.Trace = rec
+	}
+	res, err := core.SolveDistributed(a, b, x, opt)
 	if err != nil {
 		return nil, err
+	}
+	if rec != nil {
+		if err := exportRun(cfg, key, rec); err != nil {
+			return nil, err
+		}
 	}
 	runMu.Lock()
 	defer runMu.Unlock()
@@ -245,6 +287,45 @@ func runSuite(cfg Config, name string, method core.DistMethod, ranks, steps int)
 	}
 	runCache[key] = res
 	return res, nil
+}
+
+// traceBase is the per-run file stem: matrix, method, ranks, and step
+// budget, plus a short hash of the fault plan when one is installed (the
+// Chaos driver runs several plans over the same key prefix).
+func traceBase(key runKey) string {
+	base := fmt.Sprintf("%s_%s_p%d_s%d", key.name, key.method, key.ranks, key.steps)
+	if key.chaos != "" {
+		h := fnv.New32a()
+		io.WriteString(h, key.chaos)
+		base = fmt.Sprintf("%s_chaos%08x", base, h.Sum32())
+	}
+	return base
+}
+
+// exportRun writes a run's trace and/or metrics files per the config.
+func exportRun(cfg Config, key runKey, rec *obs.Recorder) error {
+	base := traceBase(key)
+	write := func(dir, suffix string, fn func(io.Writer) error) error {
+		if dir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(dir, base+suffix))
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(cfg.TraceDir, ".trace.json", rec.WriteTrace); err != nil {
+		return err
+	}
+	return write(cfg.MetricsDir, ".metrics.txt", rec.WriteMetrics)
 }
 
 // runJob identifies one suite run for the concurrent driver.
@@ -274,7 +355,6 @@ func suiteJobs(names []string, methods []core.DistMethod, rankCounts []int, step
 // their own (deterministic) order. A no-op when Par <= 1: the printers
 // compute lazily through runSuite exactly as before.
 func prefetch(cfg Config, jobs []runJob) error {
-	cfg.applyKernelWorkers()
 	par := cfg.par()
 	if par <= 1 || len(jobs) <= 1 {
 		return nil

@@ -2,11 +2,16 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"southwell/internal/core"
 	"southwell/internal/dmem"
+	"southwell/internal/parallel"
 	"southwell/internal/rma"
 )
 
@@ -138,6 +143,142 @@ func TestParDriverDeterministic(t *testing.T) {
 	par := render(parCfg)
 	if seq != par {
 		t.Errorf("parallel driver changed table output:\n--- seq ---\n%s\n--- par ---\n%s", seq, par)
+	}
+}
+
+// TestKernelWorkersRestored: a driver run with KernelWorkers set must not
+// leak the width into the process-global kernel pool. Historically
+// applyKernelWorkers called parallel.SetDefaultWorkers and never restored,
+// so one suite run reconfigured every later kernel in the process.
+func TestKernelWorkersRestored(t *testing.T) {
+	prev := parallel.Default().Workers()
+	defer parallel.SetDefaultWorkers(prev)
+	parallel.SetDefaultWorkers(3)
+
+	cfg := quickCfg()
+	cfg.KernelWorkers = 2
+	var buf bytes.Buffer
+	if err := Fig2(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := parallel.Default().Workers(); got != 3 {
+		t.Errorf("kernel pool width leaked: got %d after driver, want 3", got)
+	}
+
+	// KernelWorkers == 0 must leave the pool entirely alone.
+	restore := Config{}.pushKernelWorkers()
+	if got := parallel.Default().Workers(); got != 3 {
+		t.Errorf("KernelWorkers=0 resized the pool to %d", got)
+	}
+	restore()
+
+	// And -1 must force sequential kernels for the driver's duration only.
+	restore = Config{KernelWorkers: -1}.pushKernelWorkers()
+	if got := parallel.Default().Workers(); got != 1 {
+		t.Errorf("KernelWorkers=-1 gave width %d, want 1", got)
+	}
+	restore()
+	if got := parallel.Default().Workers(); got != 3 {
+		t.Errorf("restore after -1 gave width %d, want 3", got)
+	}
+}
+
+// TestTraceHook: a run with TraceDir/MetricsDir set dumps its per-run
+// trace-event JSON and metrics summary, and the recorded run is
+// bit-identical to an untraced one.
+func TestTraceHook(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow in -short mode")
+	}
+	ResetCaches()
+	defer ResetCaches()
+	dir := t.TempDir()
+	cfg := quickCfg()
+	ref, err := runSuite(cfg, "af_5_k101", core.DistSWD, cfg.ranks(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ResetCaches()
+	cfg.TraceDir = dir
+	cfg.MetricsDir = dir
+	traced, err := runSuite(cfg, "af_5_k101", core.DistSWD, cfg.ranks(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traced.History) != len(ref.History) {
+		t.Fatalf("tracing changed the run: %d vs %d steps", len(traced.History), len(ref.History))
+	}
+	for i := range ref.History {
+		if traced.History[i] != ref.History[i] {
+			t.Fatalf("tracing changed step %d: %+v vs %+v", i, traced.History[i], ref.History[i])
+		}
+	}
+	base := fmt.Sprintf("af_5_k101_ds_p%d_s10", cfg.ranks())
+	tj, err := os.ReadFile(filepath.Join(dir, base+".trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(tj, &parsed); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if _, ok := parsed["traceEvents"].([]any); !ok {
+		t.Error("trace file missing traceEvents array")
+	}
+	mt, err := os.ReadFile(filepath.Join(dir, base+".metrics.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(mt), "# per-rank") {
+		t.Errorf("metrics summary missing per-rank table:\n%s", mt)
+	}
+	// No kernel-pool line from suite runs: the pool counters are
+	// process-global, so a per-run delta under the -par prefetch driver
+	// would absorb concurrent runs and the file would differ between
+	// sequential and concurrent drivers.
+	if strings.Contains(string(mt), "kernel pool") {
+		t.Errorf("suite metrics carries a kernel-pool snapshot (driver-concurrency dependent):\n%s", mt)
+	}
+}
+
+// TestTraceExportDriverInvariant: the exported trace and metrics bytes
+// for one run key must not depend on the suite driver's concurrency.
+func TestTraceExportDriverInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow in -short mode")
+	}
+	export := func(par int, goroutines bool) (trace, metrics []byte) {
+		t.Helper()
+		ResetCaches()
+		defer ResetCaches()
+		dir := t.TempDir()
+		cfg := quickCfg()
+		cfg.Par = par
+		cfg.Goroutines = goroutines
+		cfg.TraceDir = dir
+		cfg.MetricsDir = dir
+		var buf bytes.Buffer
+		if err := Table2(&buf, cfg); err != nil {
+			t.Fatal(err)
+		}
+		base := fmt.Sprintf("af_5_k101_ds_p%d_s%d", cfg.ranks(), cfg.stepsOr(60))
+		tj, err := os.ReadFile(filepath.Join(dir, base+".trace.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mt, err := os.ReadFile(filepath.Join(dir, base+".metrics.txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tj, mt
+	}
+	seqTrace, seqMet := export(0, false)
+	parTrace, parMet := export(4, true)
+	if !bytes.Equal(seqTrace, parTrace) {
+		t.Error("trace export differs between sequential and concurrent drivers")
+	}
+	if !bytes.Equal(seqMet, parMet) {
+		t.Error("metrics export differs between sequential and concurrent drivers")
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"southwell/internal/dmem"
+	"southwell/internal/obs"
 	"southwell/internal/partition"
 	"southwell/internal/problem"
 	"southwell/internal/rma"
@@ -148,6 +149,9 @@ type DistOptions struct {
 	// Watchdog overrides the stagnation-watchdog patience window in
 	// parallel steps (0 = dmem's default of 10).
 	Watchdog int
+	// Trace, when non-nil, receives structured runtime and algorithm
+	// events (see internal/obs). Tracing never changes results.
+	Trace obs.Tracer
 }
 
 // SolveDistributed partitions A over opt.Ranks simulated processes and runs
@@ -168,7 +172,7 @@ func SolveDistributed(a *sparse.CSR, b, x []float64, opt DistOptions) (*dmem.Res
 	cfg := dmem.Config{
 		Steps: opt.Steps, Target: opt.Target, Model: opt.Model,
 		Parallel: opt.Parallel, Local: opt.Local,
-		Faults: opt.Faults, Watchdog: opt.Watchdog,
+		Faults: opt.Faults, Watchdog: opt.Watchdog, Trace: opt.Trace,
 	}
 	switch opt.Method {
 	case BlockJacobi:

@@ -62,6 +62,7 @@ func BlockJacobi(l *Layout, b, x []float64, cfg Config) *Result {
 		w.RunPhase(func(p int) {
 			absorb(p)
 			rs := states[p]
+			traceDecision(w, step, p, rs, true)
 			rs.relaxed = true
 			rs.zeroExtDelta()
 			flops := rs.relaxLocal()
@@ -86,7 +87,7 @@ func BlockJacobi(l *Layout, b, x []float64, cfg Config) *Result {
 			}
 		}
 		record(res, w, states, step, relaxedRanks, cumRelax)
-		if wd.observe(w, relaxedRanks) {
+		if wd.observe(w, step, relaxedRanks) {
 			res.deadlockAt(step)
 			break
 		}

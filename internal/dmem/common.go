@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"southwell/internal/dense"
+	"southwell/internal/obs"
 	"southwell/internal/parallel"
 	"southwell/internal/rma"
 	"southwell/internal/spdirect"
@@ -67,6 +68,12 @@ type Config struct {
 	// Watchdog consecutive steps stops even if the fault layer could still
 	// wake it. Values < 1 mean the default of 10.
 	Watchdog int
+	// Trace, when non-nil, receives structured events from the run (see
+	// internal/obs): runtime-level Put/delivery/cost events from the world
+	// plus algorithm-level decisions, residual sends, step records, and
+	// watchdog verdicts. Tracing never changes results: solver output,
+	// message counts, and SimTime are bit-identical with it on or off.
+	Trace obs.Tracer
 }
 
 func (c Config) model() rma.CostModel {
@@ -97,6 +104,7 @@ func newWorld(l *Layout, cfg Config) *rma.World {
 	w := rma.NewWorld(l.P, cfg.model())
 	w.Parallel = cfg.Parallel
 	w.InstallFaults(cfg.Faults)
+	w.SetTracer(cfg.Trace)
 	return w
 }
 
@@ -612,15 +620,17 @@ func msgBytes(floats int) int { return 8*floats + 16 }
 // every step boundary so cross-rank invariants can be checked.
 var debugHook func(states []*rankState)
 
-// record appends a step record with cumulative counters.
+// record appends a step record with cumulative counters (and mirrors it
+// onto the trace's control track when tracing is on).
 func record(res *Result, w *rma.World, states []*rankState, step, relaxedRanks, cumRelax int) {
 	if debugHook != nil {
 		debugHook(states)
 	}
 	st := w.Stats()
+	norm := globalNorm(states)
 	res.History = append(res.History, StepStats{
 		Step:         step,
-		ResNorm:      globalNorm(states),
+		ResNorm:      norm,
 		RelaxedRanks: relaxedRanks,
 		Relaxations:  cumRelax,
 		SolveMsgs:    st.SolveMsgs,
@@ -631,6 +641,74 @@ func record(res *Result, w *rma.World, states []*rankState, step, relaxedRanks, 
 		Reordered:    st.ReorderedBatches,
 		Paused:       st.PausedRankPhases,
 	})
+	if tr := w.Tracer(); tr != nil {
+		tr.Emit(obs.Event{
+			Kind:  obs.KindStep,
+			Rank:  obs.ControlRank,
+			Step:  int32(step),
+			V1:    norm,
+			V2:    st.SimTime,
+			A:     int32(relaxedRanks),
+			I1:    st.TotalMsgs(),
+			I2:    st.SolveBytes + st.ResBytes,
+			Ts:    w.Now(),
+			Phase: w.PhaseIndex(),
+		})
+	}
+}
+
+// traceDecision emits rank p's relax/hold decision for one step. Called
+// from rank p's phase function, so it writes only p's tracer shard (the
+// obs.Tracer contract); the max-Γ scan runs only when tracing is on.
+func traceDecision(w *rma.World, step, p int, rs *rankState, relaxed bool) {
+	tr := w.Tracer()
+	if tr == nil {
+		return
+	}
+	maxG := 0.0
+	for _, g := range rs.gamma {
+		if g > maxG {
+			maxG = g
+		}
+	}
+	e := obs.Event{
+		Kind:  obs.KindDecision,
+		Rank:  int32(p),
+		Step:  int32(step),
+		V1:    rs.norm,
+		V2:    maxG,
+		Ts:    w.Now(),
+		Phase: w.PhaseIndex(),
+	}
+	if relaxed {
+		e.Flag = obs.FlagRelaxed
+	}
+	tr.Emit(e)
+}
+
+// traceResSend emits an explicit residual update from rank p toward
+// neighbor rank `to` (-1 = all neighbors). trigger is the value that fired
+// the send — Γ̃[j] for the deadlock-risk rule, the announced norm for the
+// Parallel Southwell broadcast.
+func traceResSend(w *rma.World, step, p, to int, trigger float64, rs *rankState, refresh bool) {
+	tr := w.Tracer()
+	if tr == nil {
+		return
+	}
+	e := obs.Event{
+		Kind:  obs.KindResSend,
+		Rank:  int32(p),
+		Step:  int32(step),
+		A:     int32(to),
+		V1:    trigger,
+		V2:    rs.norm,
+		Ts:    w.Now(),
+		Phase: w.PhaseIndex(),
+	}
+	if refresh {
+		e.Flag = obs.FlagRefresh
+	}
+	tr.Emit(e)
 }
 
 // watchdog is the stagnation/deadlock detector shared by every method,
@@ -664,8 +742,9 @@ func newWatchdog(cfg Config, w *rma.World) *watchdog {
 }
 
 // observe inspects one completed parallel step and reports whether the run
-// is stuck and should stop.
-func (wd *watchdog) observe(w *rma.World, relaxedRanks int) bool {
+// is stuck and should stop. Idle steps and the final verdict land on the
+// trace's control track.
+func (wd *watchdog) observe(w *rma.World, step, relaxedRanks int) bool {
 	st := w.Stats()
 	sent, delivered := st.TotalMsgs(), st.Delivered
 	idle := relaxedRanks == 0 && sent == wd.lastSent && delivered == wd.lastDelivered
@@ -675,7 +754,23 @@ func (wd *watchdog) observe(w *rma.World, relaxedRanks int) bool {
 		return false
 	}
 	wd.idle++
-	return w.FaultsQuiescent() || wd.idle >= wd.window
+	stop := w.FaultsQuiescent() || wd.idle >= wd.window
+	if tr := w.Tracer(); tr != nil {
+		flag := obs.FlagWatchdogIdle
+		if stop {
+			flag = obs.FlagWatchdogStop
+		}
+		tr.Emit(obs.Event{
+			Kind:  obs.KindWatchdog,
+			Rank:  obs.ControlRank,
+			Step:  int32(step),
+			Flag:  flag,
+			A:     int32(wd.idle),
+			Ts:    w.Now(),
+			Phase: w.PhaseIndex(),
+		})
+	}
+	return stop
 }
 
 // deadlockAt marks a watchdog stop at step — unless the run had in fact

@@ -197,6 +197,7 @@ func distributedSouthwell(l *Layout, b, x []float64, cfg Config, opts DistSWOpti
 				}
 			}
 			w.Charge(p, float64(rs.rd.Degree()))
+			traceDecision(w, step, p, rs, wins)
 			if !wins {
 				return
 			}
@@ -253,6 +254,7 @@ func distributedSouthwell(l *Layout, b, x []float64, cfg Config, opts DistSWOpti
 			// Deadlock-risk detection (Algorithm 3, lines 27-30).
 			for j, q := range rs.rd.Nbrs {
 				if refresh || rs.gammaTilde[j] > rs.norm*(1+opts.UpdateSlack) {
+					traceResSend(w, step, p, q, rs.gammaTilde[j], rs, refresh)
 					rs.gammaTilde[j] = rs.norm
 					rs.sentTo[j] = true
 					pl := &resPl[p][j]
@@ -289,7 +291,7 @@ func distributedSouthwell(l *Layout, b, x []float64, cfg Config, opts DistSWOpti
 			}
 		}
 		record(res, w, states, step, relaxedRanks, cumRelax)
-		if wd.observe(w, relaxedRanks) {
+		if wd.observe(w, step, relaxedRanks) {
 			res.deadlockAt(step)
 			break
 		}

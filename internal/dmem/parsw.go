@@ -115,6 +115,7 @@ func ParallelSouthwell(l *Layout, b, x []float64, cfg Config) *Result {
 				}
 			}
 			w.Charge(p, float64(rs.rd.Degree()))
+			traceDecision(w, step, p, rs, wins)
 			if !wins {
 				return
 			}
@@ -141,6 +142,7 @@ func ParallelSouthwell(l *Layout, b, x []float64, cfg Config) *Result {
 			// a tolerance here would let stale Γ entries persist.
 			if rs.norm != rs.lastTold { //dslint:ignore floatcmp
 
+				traceResSend(w, step, p, -1, rs.lastTold, rs, false)
 				rs.lastTold = rs.norm
 				resPl[p].norm = rs.norm
 				resPl[p].seq = 2*int64(step) + 1
@@ -158,7 +160,7 @@ func ParallelSouthwell(l *Layout, b, x []float64, cfg Config) *Result {
 			}
 		}
 		record(res, w, states, step, relaxedRanks, cumRelax)
-		if wd.observe(w, relaxedRanks) {
+		if wd.observe(w, step, relaxedRanks) {
 			res.deadlockAt(step)
 			break
 		}

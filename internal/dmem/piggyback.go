@@ -67,6 +67,7 @@ func Piggyback2016(l *Layout, b, x []float64, cfg Config) *Result {
 					break
 				}
 			}
+			traceDecision(w, step, p, rs, wins)
 			if !wins {
 				return
 			}
@@ -93,7 +94,7 @@ func Piggyback2016(l *Layout, b, x []float64, cfg Config) *Result {
 			}
 		}
 		record(res, w, states, step, relaxedRanks, cumRelax)
-		if wd.observe(w, relaxedRanks) {
+		if wd.observe(w, step, relaxedRanks) {
 			// On a perfect network this fires at the first step without
 			// relaxations — nothing was sent, so no estimate can ever
 			// change; under faults it also waits out in-flight deliveries.

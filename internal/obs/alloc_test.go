@@ -1,0 +1,141 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"southwell/internal/obs"
+	"southwell/internal/rma"
+)
+
+// The zero-overhead claim of the observability layer, pinned the same way
+// as BENCH_kernels.json and BENCH_ldl.json: the gate file records the
+// maximum allocations per steady-state operation, and this test fails on
+// any regression. Three operations are gated, all at zero:
+//
+//   - DisabledPhase: one rma phase (ring exchange) with no tracer — the
+//     permanent emit sites in the hot path must cost nothing when off.
+//   - TracedPhase: the same phase with a Recorder installed — enabled
+//     tracing is ring writes into preallocated buffers, not allocation.
+//   - RecorderEmit: one direct Recorder.Emit.
+
+type obsGate struct {
+	Gate map[string]float64 `json:"gate"`
+}
+
+type benchPayload struct {
+	vals []float64
+	norm float64
+}
+
+// phaseWorld builds a P-rank world running a two-neighbor ring exchange,
+// the same shape as rma's own engine benchmark, with tr installed.
+func phaseWorld(p int, tr obs.Tracer) (*rma.World, func(rank int)) {
+	w := rma.NewWorld(p, rma.DefaultCostModel())
+	w.SetTracer(tr)
+	payloads := make([][2]benchPayload, p)
+	for r := range payloads {
+		payloads[r][0].vals = make([]float64, 8)
+		payloads[r][1].vals = make([]float64, 8)
+	}
+	phase := func(rank int) {
+		sum := 0.0
+		for _, m := range w.Inbox(rank) {
+			sum += m.Payload.(*benchPayload).norm
+		}
+		for d := 0; d < 2; d++ {
+			pl := &payloads[rank][d]
+			pl.norm = sum + float64(rank+d)
+			to := rank + 1
+			if d == 1 {
+				to = rank - 1 + p
+			}
+			w.Put(rank, to%p, rma.TagSolve, 8*len(pl.vals)+16, pl)
+		}
+		w.Charge(rank, 100)
+	}
+	return w, phase
+}
+
+func TestObsAllocGate(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_obs.json")
+	if err != nil {
+		t.Fatalf("reading BENCH_obs.json: %v", err)
+	}
+	var g obsGate
+	if err := json.Unmarshal(data, &g); err != nil {
+		t.Fatalf("parsing BENCH_obs.json: %v", err)
+	}
+	if len(g.Gate) == 0 {
+		t.Fatal("BENCH_obs.json has no gate entries")
+	}
+
+	const p = 64
+	wOff, phaseOff := phaseWorld(p, nil)
+	defer wOff.Close()
+	// NewRecorderCap big enough that the rings never wrap mid-test; wrap
+	// would not allocate either, but keep the measurement simple.
+	rec := obs.NewRecorderCap(p, 4096)
+	wOn, phaseOn := phaseWorld(p, rec)
+	defer wOn.Close()
+
+	e := obs.Event{Kind: obs.KindPut, Rank: 3, A: 4, Tag: 1, I1: 80}
+	ops := map[string]func(){
+		"DisabledPhase": func() { wOff.RunPhase(phaseOff) },
+		"TracedPhase":   func() { wOn.RunPhase(phaseOn) },
+		"RecorderEmit":  func() { rec.Emit(e) },
+	}
+	for name, limit := range g.Gate {
+		op, ok := ops[name]
+		if !ok {
+			t.Errorf("BENCH_obs.json gates unknown operation %q", name)
+			continue
+		}
+		op() // warm once outside the measurement
+		if got := testing.AllocsPerRun(20, op); got > limit {
+			t.Errorf("%s allocates %.1f/op in steady state, gate is %.0f", name, got, limit)
+		}
+	}
+	for name := range ops {
+		if _, ok := g.Gate[name]; !ok {
+			t.Errorf("operation %q is not gated by BENCH_obs.json", name)
+		}
+	}
+}
+
+// BenchmarkObs measures the per-phase overhead of tracing: disabled
+// (nil tracer) vs a live Recorder, plus the raw Emit cost.
+func BenchmarkObs(b *testing.B) {
+	for _, mode := range []string{"disabled", "traced"} {
+		for _, p := range []int{64, 256} {
+			b.Run(fmt.Sprintf("phase/%s/P=%d", mode, p), func(b *testing.B) {
+				var tr obs.Tracer
+				var rec *obs.Recorder
+				if mode == "traced" {
+					rec = obs.NewRecorderCap(p, 1024)
+					tr = rec
+				}
+				w, phase := phaseWorld(p, tr)
+				defer w.Close()
+				w.RunPhase(phase)
+				w.RunPhase(phase)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					w.RunPhase(phase)
+				}
+			})
+		}
+	}
+	b.Run("emit", func(b *testing.B) {
+		rec := obs.NewRecorderCap(4, 1024)
+		e := obs.Event{Kind: obs.KindPut, Rank: 1, A: 2, Tag: 1, I1: 80}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec.Emit(e)
+		}
+	})
+}

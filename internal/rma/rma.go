@@ -46,6 +46,8 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+
+	"southwell/internal/obs"
 )
 
 // ErrClosed is the panic value of Put and RunPhase on a closed World:
@@ -116,6 +118,18 @@ type World struct {
 	phases     int64
 	delivered  int64
 
+	// base is the Stats snapshot taken by ResetStats. The raw counters
+	// above are monotone for the life of the world (the trace clock and
+	// the SimTime-monotone invariant depend on that); Stats subtracts the
+	// baseline instead of the counters ever being rewound.
+	base Stats
+
+	// trace, when non-nil, receives structured events (obs package). All
+	// emits are guarded by a nil check so the disabled path is free; an
+	// event for rank p is emitted from p's phase function or from the
+	// driver between phases, matching the obs.Tracer concurrency contract.
+	trace obs.Tracer
+
 	// chaos, when non-nil, is the installed fault-injection state (see
 	// faults.go). All chaos decisions are made in deliver on the calling
 	// goroutine, keeping both engines bit-identical.
@@ -163,6 +177,17 @@ func (w *World) Put(from, to int, tag Tag, bytes int, payload any) {
 	w.staged[from] = append(w.staged[from], Message{From: from, To: to, Tag: tag, Bytes: bytes, Payload: payload})
 	w.msgs[from]++
 	w.bytes[from] += int64(bytes)
+	if w.trace != nil {
+		w.trace.Emit(obs.Event{
+			Kind:  obs.KindPut,
+			Rank:  int32(from),
+			A:     int32(to),
+			Tag:   uint8(tag),
+			I1:    int64(bytes),
+			Ts:    w.simTime,
+			Phase: w.phases,
+		})
+	}
 }
 
 // Charge records flops of local computation for rank in the current phase.
@@ -175,6 +200,26 @@ func (w *World) Charge(rank int, flops float64) {
 func (w *World) Inbox(rank int) []Message {
 	return w.inbox[rank]
 }
+
+// SetTracer installs (or, with nil, removes) a structured-event tracer.
+// Install before the first phase; the tracer must follow the obs.Tracer
+// concurrency contract. Tracing changes no observable runtime behavior:
+// results, message counts, and SimTime are bit-identical with it on or off.
+func (w *World) SetTracer(t obs.Tracer) { w.trace = t }
+
+// Tracer returns the installed tracer (nil when tracing is off), so layers
+// above the runtime (dmem) can emit algorithm-level events on the same
+// clock.
+func (w *World) Tracer() obs.Tracer { return w.trace }
+
+// Now returns the simulated clock: cumulative α-β-γ seconds since the
+// world was created. Unlike Stats().SimTime it is never rewound by
+// ResetStats, which is what makes it a valid trace timestamp.
+func (w *World) Now() float64 { return w.simTime }
+
+// PhaseIndex returns the number of completed phases since world creation
+// (also monotone across ResetStats).
+func (w *World) PhaseIndex() int64 { return w.phases }
 
 // RunPhase executes one access epoch: f runs for every rank (sequentially,
 // or sharded over the persistent worker pool when w.Parallel is set), then
@@ -278,6 +323,16 @@ func (w *World) deliver() {
 			// One-sided writes to a paused rank's window persist until the
 			// rank next runs an epoch and can actually read them.
 			ch.paused++
+			if w.trace != nil {
+				w.trace.Emit(obs.Event{
+					Kind:  obs.KindFault,
+					Rank:  obs.ControlRank,
+					Flag:  obs.FlagFaultPaused,
+					A:     int32(p),
+					Ts:    w.simTime,
+					Phase: w.phases,
+				})
+			}
 			continue
 		}
 		in := w.inbox[p]
@@ -310,7 +365,10 @@ func (w *World) deliver() {
 					d := *m
 					d.Dup = true
 					w.land(d)
+					w.emitFault(obs.FlagFaultDuped, m.From, m.To)
 				}
+			} else {
+				w.emitFault(obs.FlagFaultDelayed, m.From, m.To)
 			}
 			m.Payload = nil
 		}
@@ -326,6 +384,7 @@ func (w *World) deliver() {
 				continue
 			}
 			ch.reordered++
+			w.emitFault(obs.FlagFaultReordered, p, p)
 			for i := len(batch) - 1; i > 0; i-- {
 				j := ch.rng.intn(i + 1)
 				batch[i], batch[j] = batch[j], batch[i]
@@ -344,14 +403,54 @@ func (w *World) deliver() {
 		if cost > maxCost {
 			maxCost = cost
 		}
+	}
+	w.simTime += maxCost
+	w.phases++
+	var landings int64
+	for p := 0; p < w.P; p++ {
+		landings += w.recvMsgs[p]
+		if w.trace != nil && (w.flops[p] != 0 || w.msgs[p] != 0 || w.recvMsgs[p] != 0) {
+			// Re-derive the cost split so the slice carries the γ/α/β
+			// terms separately: the rank whose total tracks the phase
+			// maximum is the SimTime winner.
+			mult := 1.0
+			if ch != nil {
+				mult = ch.slow[p]
+			}
+			fc := w.Model.Gamma * w.flops[p] * mult
+			mc := w.Model.Alpha * float64(w.msgs[p]+w.recvMsgs[p]) * mult
+			bc := w.Model.Beta * float64(w.bytes[p]+w.recvBytes[p]) * mult
+			w.trace.Emit(obs.Event{
+				Kind:  obs.KindRankCost,
+				Rank:  int32(p),
+				Ts:    w.simTime,
+				Dur:   fc + mc + bc,
+				V1:    fc,
+				V2:    mc,
+				V3:    bc,
+				A:     int32(w.msgs[p]),
+				B:     int32(w.recvMsgs[p]),
+				I1:    w.bytes[p],
+				I2:    w.recvBytes[p],
+				Phase: w.phases - 1,
+			})
+		}
 		w.flops[p] = 0
 		w.msgs[p] = 0
 		w.bytes[p] = 0
 		w.recvMsgs[p] = 0
 		w.recvBytes[p] = 0
 	}
-	w.simTime += maxCost
-	w.phases++
+	if w.trace != nil {
+		w.trace.Emit(obs.Event{
+			Kind:  obs.KindPhase,
+			Rank:  obs.ControlRank,
+			Ts:    w.simTime,
+			Dur:   maxCost,
+			I1:    landings,
+			Phase: w.phases - 1,
+		})
+	}
 	if ch != nil {
 		// Chaos delivery is intentionally not origin-ordered (delays and
 		// reordering are the point); skip the order normalization below.
@@ -371,6 +470,24 @@ func (w *World) deliver() {
 	}
 }
 
+// emitFault records a fault-layer action on the control track. Fault
+// decisions are made on the driver goroutine in deliver, so these emits
+// are always race-free.
+func (w *World) emitFault(flag uint8, from, to int) {
+	if w.trace == nil {
+		return
+	}
+	w.trace.Emit(obs.Event{
+		Kind:  obs.KindFault,
+		Rank:  obs.ControlRank,
+		Flag:  flag,
+		A:     int32(from),
+		B:     int32(to),
+		Ts:    w.simTime,
+		Phase: w.phases,
+	})
+}
+
 // land appends one message to its target window and charges the landing
 // (the write occupies the target's NIC even though its CPU is not
 // involved).
@@ -379,6 +496,21 @@ func (w *World) land(m Message) {
 	w.recvMsgs[m.To]++
 	w.recvBytes[m.To] += int64(m.Bytes)
 	w.delivered++
+	if w.trace != nil {
+		e := obs.Event{
+			Kind:  obs.KindDeliver,
+			Rank:  int32(m.To),
+			A:     int32(m.From),
+			Tag:   uint8(m.Tag),
+			I1:    int64(m.Bytes),
+			Ts:    w.simTime,
+			Phase: w.phases,
+		}
+		if m.Dup {
+			e.Flag = obs.FlagDup
+		}
+		w.trace.Emit(e)
+	}
 }
 
 // Stats is the cumulative communication record of a world.
@@ -403,10 +535,18 @@ type Stats struct {
 func (s Stats) TotalMsgs() int64 { return s.SolveMsgs + s.ResMsgs }
 
 // CommCost is the paper's §4.3 metric: total messages divided by ranks.
-func (s Stats) CommCost(p int) float64 { return float64(s.TotalMsgs()) / float64(p) }
+// A non-positive rank count yields 0 rather than NaN/±Inf, so a malformed
+// caller cannot poison a table cell silently.
+func (s Stats) CommCost(p int) float64 {
+	if p <= 0 {
+		return 0
+	}
+	return float64(s.TotalMsgs()) / float64(p)
+}
 
-// Stats returns a snapshot of the counters.
-func (w *World) Stats() Stats {
+// rawStats snapshots the monotone lifetime counters, ignoring any
+// ResetStats baseline.
+func (w *World) rawStats() Stats {
 	s := Stats{
 		SimTime:    w.simTime,
 		Phases:     w.phases,
@@ -425,20 +565,30 @@ func (w *World) Stats() Stats {
 	return s
 }
 
-// ResetStats zeroes the cumulative counters (e.g. between a setup phase and
-// a measured solve).
+// Stats returns a snapshot of the counters since the last ResetStats (or
+// world creation).
+func (w *World) Stats() Stats {
+	s := w.rawStats()
+	b := w.base
+	s.SimTime -= b.SimTime
+	s.Phases -= b.Phases
+	s.SolveMsgs -= b.SolveMsgs
+	s.ResMsgs -= b.ResMsgs
+	s.SolveBytes -= b.SolveBytes
+	s.ResBytes -= b.ResBytes
+	s.Delivered -= b.Delivered
+	s.DelayedMsgs -= b.DelayedMsgs
+	s.DupMsgs -= b.DupMsgs
+	s.ReorderedBatches -= b.ReorderedBatches
+	s.PausedRankPhases -= b.PausedRankPhases
+	return s
+}
+
+// ResetStats restarts the Stats window (e.g. between a setup phase and a
+// measured solve). It moves the baseline rather than rewinding counters:
+// the internal clock stays monotone for the life of the world, so a
+// mid-run reset can never make trace timestamps — or a SimTime series read
+// through Stats after the reset — go backwards relative to each other.
 func (w *World) ResetStats() {
-	w.simTime = 0
-	w.phases = 0
-	w.delivered = 0
-	for t := Tag(0); t < numTags; t++ {
-		w.totalMsgs[t] = 0
-		w.totalBytes[t] = 0
-	}
-	if ch := w.chaos; ch != nil {
-		ch.delayed = 0
-		ch.duped = 0
-		ch.reordered = 0
-		ch.paused = 0
-	}
+	w.base = w.rawStats()
 }
