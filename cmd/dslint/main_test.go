@@ -1,7 +1,8 @@
 package main
 
 import (
-	"os"
+	"io"
+	"strings"
 	"testing"
 
 	"southwell/internal/analysis/registry"
@@ -18,23 +19,54 @@ func TestRegistryComplete(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"detrand", "maporder", "clonerheld", "phaseabsorb", "floatcmp"} {
+	for _, want := range []string{
+		"detrand", "maporder", "clonerheld", "phaseabsorb", "floatcmp",
+		"callgraph", "hotalloc", "walltime", "staleignore",
+	} {
 		if !names[want] {
 			t.Errorf("registry is missing analyzer %q", want)
 		}
 	}
+	// Ordering constraints: callgraph produces the facts hotalloc and
+	// walltime consume, and staleignore inspects directive-consumption
+	// flags every other analyzer may set.
+	idx := map[string]int{}
+	for i, a := range registry.Analyzers() {
+		idx[a.Name] = i
+	}
+	if idx["callgraph"] > idx["hotalloc"] || idx["callgraph"] > idx["walltime"] {
+		t.Error("callgraph must run before hotalloc and walltime")
+	}
+	if idx["staleignore"] != len(registry.Analyzers())-1 {
+		t.Error("staleignore must run last")
+	}
 }
 
 func TestLintCleanPackage(t *testing.T) {
-	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer null.Close()
-	if code := lint([]string{"southwell/internal/analysis/lintutil"}, null, null); code != 0 {
+	cfg := config{patterns: []string{"southwell/internal/analysis/lintutil"}}
+	if code := lint(cfg, io.Discard, io.Discard); code != 0 {
 		t.Fatalf("lint on a clean package exited %d, want 0", code)
 	}
-	if code := lint([]string{"southwell/internal/no/such/package"}, null, null); code != 2 {
+	cfg.patterns = []string{"southwell/internal/no/such/package"}
+	if code := lint(cfg, io.Discard, io.Discard); code != 2 {
 		t.Fatalf("lint on a bogus pattern exited %d, want 2", code)
+	}
+}
+
+// TestLintFixCleanPackage smoke-tests the -fix path (make lint-fix): on a
+// clean package there is nothing to fix and nothing left to report, so the
+// run must be a no-op with exit 0 and no output. (ApplyFixes semantics on
+// real findings are pinned by the staleignore fix tests.)
+func TestLintFixCleanPackage(t *testing.T) {
+	cfg := config{
+		patterns: []string{"southwell/internal/analysis/lintutil"},
+		fix:      true,
+	}
+	var out strings.Builder
+	if code := lint(cfg, &out, io.Discard); code != 0 {
+		t.Fatalf("lint -fix on a clean package exited %d, want 0", code)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("lint -fix on a clean package produced output:\n%s", out.String())
 	}
 }

@@ -1,0 +1,700 @@
+package callgraph
+
+// The per-package summary builder. One pass over the typed AST collects,
+// for every function and function literal:
+//
+//   - allocation sites (hotalloc's raw material) and wall-clock sites
+//     (walltime's), with //dslint:ignore suppression consumed at build time;
+//   - call edges, resolved as precisely as the local information allows:
+//     static callees directly; calls through local func-typed variables and
+//     struct fields by flow-insensitive candidate tracking; calls through a
+//     parameter (or a parameter's field) become ParamField callback
+//     summaries so *callers* get precise edges; everything else falls back
+//     to field-assignment or signature CHA pools resolved at walk time.
+//
+// Call-site bindings are captured during the walk but resolved only after
+// it (resolve.go): the tracking is flow-insensitive, so a call must see
+// assignments that happen later in the body too. A package-local fixpoint
+// then propagates callback summaries through same-package call chains —
+// e.g. Pool.Run(t) calling t.help() calling t.F() makes Run itself carry
+// {Param: 0, Chain: "F"} — and materializes precise edges at call sites
+// whose bindings are known. Cross-package callees are resolved against
+// their already-exported facts (the import DAG guarantees dependencies
+// were analyzed first).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"southwell/internal/analysis/framework"
+)
+
+// cand is one candidate value for a func-typed variable, field, or
+// argument: a concrete function, a value derived from the enclosing named
+// function's parameter (so callers can resolve it), or an open marker
+// (something untrackable flowed in; consumers add pool fallback).
+type cand struct {
+	fn    string // FuncID when concrete
+	isPar bool   // value came from parameter par (possibly under field chain)
+	par   int
+	chain string
+	open  bool
+}
+
+// binding describes what the walk knew about one bound value — a call
+// argument, a receiver, or the callee expression of a dynamic call. It is
+// resolved lazily (after the whole body was walked) so flow-insensitive
+// tracking sees every assignment.
+type binding struct {
+	scope *fnScope
+
+	isParam  bool // the value is (a field chain under) a parameter
+	par      int
+	parChain string
+
+	v    *types.Var // local-variable root, when tracked
+	base string     // field chain from v (or the root expr) to the value
+
+	direct []cand // candidates not tied to a variable (literals, named funcs)
+
+	typ      types.Type // static type of the bound value
+	rootType types.Type // type of the expression the field chain is rooted at
+}
+
+// rawCall is a pending static call site: callee plus bindings, resolved
+// against the callee's callback summary during the fixpoint.
+type rawCall struct {
+	callee        string
+	pos           string
+	noHot, noWall bool
+	recv          *binding
+	args          []*binding
+}
+
+// dynCall is a pending call through a func value.
+type dynCall struct {
+	bind          *binding
+	pos           string
+	noHot, noWall bool
+}
+
+// rawFunc is a Func under construction plus its pending call sites and
+// dedupe sets.
+type rawFunc struct {
+	f        *Func
+	paramRaw *rawFunc // named function whose params bindings refer to
+	calls    []rawCall
+	dyns     []dynCall
+	edgeSet  map[string]bool
+	callSet  map[ParamField]bool
+}
+
+type span struct{ lo, hi token.Pos }
+
+type builder struct {
+	pass  *framework.Pass
+	pkg   string
+	raws  map[string]*rawFunc
+	order []string
+
+	litIDs   map[*ast.FuncLit]string
+	litSeq   map[string]int // enclosing ID -> next literal index
+	callFuns map[ast.Expr]bool
+	panics   []span
+	initSeq  int
+
+	fieldAssigns map[string]map[string]bool // field-pool key -> candidate set
+	sigFuncs     map[string]map[string]bool
+
+	depFacts map[string]*Fact // dep package path -> imported fact (nil = none)
+}
+
+// fnScope is the lexical tracking state of one top-level function and the
+// literals nested inside it. Literals share the maps (closures see the
+// enclosing function's locals) but record sites and edges into their own
+// rawFunc; parameter-relative discoveries always attach to paramRaw, the
+// named function whose callers can bind them.
+type fnScope struct {
+	b        *builder
+	paramRaw *rawFunc
+	params   map[*types.Var]int
+	vars     map[*types.Var][]cand
+	fields   map[*types.Var]map[string][]cand
+}
+
+func newBuilder(pass *framework.Pass) *builder {
+	return &builder{
+		pass:         pass,
+		pkg:          pass.Pkg.Path(),
+		raws:         map[string]*rawFunc{},
+		litIDs:       map[*ast.FuncLit]string{},
+		litSeq:       map[string]int{},
+		callFuns:     map[ast.Expr]bool{},
+		fieldAssigns: map[string]map[string]bool{},
+		sigFuncs:     map[string]map[string]bool{},
+		depFacts:     map[string]*Fact{},
+	}
+}
+
+func (b *builder) newRaw(id string, paramRaw *rawFunc) *rawFunc {
+	r := &rawFunc{
+		f:       &Func{ID: id},
+		edgeSet: map[string]bool{},
+		callSet: map[ParamField]bool{},
+	}
+	if paramRaw == nil {
+		r.paramRaw = r
+	} else {
+		r.paramRaw = paramRaw
+	}
+	b.raws[id] = r
+	b.order = append(b.order, id)
+	return r
+}
+
+func (b *builder) posOf(pos token.Pos) string {
+	p := b.pass.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+// HotpathDecl reports whether fd is annotated //dslint:hotpath in its doc
+// comment.
+func HotpathDecl(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, "//dslint:hotpath") {
+			return true
+		}
+	}
+	return false
+}
+
+// DeclID computes the FuncID of a declared function or method in the
+// package under analysis ("" for init functions and declarations without
+// type information). Hotalloc and walltime use it to anchor findings at
+// declaration sites.
+func DeclID(pass *framework.Pass, fd *ast.FuncDecl) string {
+	if fd.Recv == nil && fd.Name.Name == "init" {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return ""
+	}
+	return FuncIDOf(fn)
+}
+
+func (b *builder) declID(fd *ast.FuncDecl) string {
+	if fd.Recv == nil && fd.Name.Name == "init" {
+		b.initSeq++
+		return fmt.Sprintf("%s.init#%d", b.pkg, b.initSeq)
+	}
+	if fn, ok := b.pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+		return FuncIDOf(fn)
+	}
+	b.initSeq++
+	return fmt.Sprintf("%s.decl#%d", b.pkg, b.initSeq)
+}
+
+func (b *builder) litID(enclosing string, lit *ast.FuncLit) string {
+	if id, ok := b.litIDs[lit]; ok {
+		return id
+	}
+	n := b.litSeq[enclosing]
+	b.litSeq[enclosing] = n + 1
+	id := fmt.Sprintf("%s$%d", enclosing, n+1)
+	b.litIDs[lit] = id
+	return id
+}
+
+// buildAll walks every declaration in the package, then resolves bindings
+// and runs the callback fixpoint, and returns the finished fact.
+func (b *builder) buildAll() *Fact {
+	for _, f := range b.pass.Files {
+		// Pre-pass: mark call-target expressions (so method selectors used
+		// as call targets are not double-counted as method values) and
+		// panic argument spans (allocations feeding a panic are on a
+		// terminating path and exempt).
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fun := unparen(call.Fun)
+			b.callFuns[fun] = true
+			if sel, ok := fun.(*ast.SelectorExpr); ok {
+				b.callFuns[ast.Expr(sel.Sel)] = true
+			}
+			if id, isID := fun.(*ast.Ident); isID {
+				if bi, isB := b.pass.TypesInfo.Uses[id].(*types.Builtin); isB && bi.Name() == "panic" {
+					b.panics = append(b.panics, span{call.Lparen, call.Rparen})
+				}
+			}
+			return true
+		})
+	}
+	for _, f := range b.pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			b.buildFunc(fd)
+		}
+	}
+	b.resolveCalls()
+	return b.finish()
+}
+
+func (b *builder) buildFunc(fd *ast.FuncDecl) {
+	id := b.declID(fd)
+	raw := b.newRaw(id, nil)
+	raw.f.Hotpath = HotpathDecl(fd)
+	raw.f.ExemptHotalloc = b.pass.SuppressedBy(fd.Pos(), "hotalloc")
+	raw.f.ExemptWalltime = b.pass.SuppressedBy(fd.Pos(), "walltime")
+
+	s := &fnScope{
+		b:        b,
+		paramRaw: raw,
+		params:   map[*types.Var]int{},
+		vars:     map[*types.Var][]cand{},
+		fields:   map[*types.Var]map[string][]cand{},
+	}
+	var sig *types.Signature
+	if fn, _ := b.pass.TypesInfo.Defs[fd.Name].(*types.Func); fn != nil {
+		sig = fn.Type().(*types.Signature)
+		if r := sig.Recv(); r != nil {
+			s.params[r] = -1
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			s.params[sig.Params().At(i)] = i
+		}
+	}
+	s.walk(raw, sig, fd.Body)
+}
+
+func (b *builder) inPanic(pos token.Pos) bool {
+	for _, sp := range b.panics {
+		if pos >= sp.lo && pos <= sp.hi {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *builder) addAllocSite(raw *rawFunc, pos token.Pos, kind, desc string) {
+	if raw.f.ExemptHotalloc || b.inPanic(pos) || b.pass.SuppressedBy(pos, "hotalloc") {
+		return
+	}
+	raw.f.AllocSites = append(raw.f.AllocSites, Site{Kind: kind, Desc: desc, Pos: b.posOf(pos)})
+}
+
+func (b *builder) addWallSite(raw *rawFunc, pos token.Pos, desc string) {
+	if raw.f.ExemptWalltime || b.inPanic(pos) || b.pass.SuppressedBy(pos, "walltime") {
+		return
+	}
+	raw.f.WallSites = append(raw.f.WallSites, Site{Kind: "wall clock", Desc: desc, Pos: b.posOf(pos)})
+}
+
+func (b *builder) addEdge(raw *rawFunc, e Edge) bool {
+	key := fmt.Sprintf("%s|%s|%s|%v|%v|%s|%s|%v%v",
+		e.Callee, e.Method, e.Iface, e.IfaceMethods, e.FieldKeys, e.Sig, e.Pos, e.NoHotalloc, e.NoWalltime)
+	if raw.edgeSet[key] {
+		return false
+	}
+	raw.edgeSet[key] = true
+	raw.f.Edges = append(raw.f.Edges, e)
+	return true
+}
+
+func (b *builder) addCall(raw *rawFunc, pf ParamField) bool {
+	if raw.callSet[pf] {
+		return false
+	}
+	raw.callSet[pf] = true
+	raw.f.Calls = append(raw.f.Calls, pf)
+	return true
+}
+
+func (b *builder) addFieldAssign(keys []string, c cand) {
+	for _, key := range keys {
+		set := b.fieldAssigns[key]
+		if set == nil {
+			set = map[string]bool{}
+			b.fieldAssigns[key] = set
+		}
+		if c.fn != "" {
+			set[c.fn] = true
+		} else {
+			set["?"] = true
+		}
+	}
+}
+
+func (b *builder) addSigFunc(sig, fn string) {
+	set := b.sigFuncs[sig]
+	if set == nil {
+		set = map[string]bool{}
+		b.sigFuncs[sig] = set
+	}
+	set[fn] = true
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func (b *builder) typeOf(e ast.Expr) types.Type {
+	if tv, ok := b.pass.TypesInfo.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := b.pass.TypesInfo.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+func isFuncType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Signature)
+	return ok
+}
+
+// chainType walks a dotted field chain from t ("a.F" -> type of F) and
+// returns nil when any step is not a struct field.
+func chainType(t types.Type, chain string) types.Type {
+	if chain == "" {
+		return t
+	}
+	for _, name := range strings.Split(chain, ".") {
+		if t == nil {
+			return nil
+		}
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return nil
+		}
+		var ft types.Type
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i).Name() == name {
+				ft = st.Field(i).Type()
+				break
+			}
+		}
+		t = ft
+	}
+	return t
+}
+
+// fieldKeys names the field-assignment pools for the field reached from
+// rootType via chain, most specific first: the full chain keyed by the
+// root's named type ("sparse.kernScratch.mulTask.F"), then the immediate
+// owner of the last field ("parallel.Task.F"). Assignments are recorded
+// under both; call-site lookups use the first pool that has candidates,
+// so kernels resolving their own scratch tasks are not polluted by other
+// assignments to the same generic field.
+func fieldKeys(rootType types.Type, chain string) []string {
+	if chain == "" || rootType == nil {
+		return nil
+	}
+	var keys []string
+	if rk := typeKey(rootType); rk != "" {
+		keys = append(keys, rk+"."+chain)
+	}
+	parts := strings.Split(chain, ".")
+	if len(parts) > 1 {
+		owner := chainType(rootType, strings.Join(parts[:len(parts)-1], "."))
+		if ok := typeKey(owner); owner != nil && ok != "" {
+			imm := ok + "." + parts[len(parts)-1]
+			if len(keys) == 0 || keys[0] != imm {
+				keys = append(keys, imm)
+			}
+		}
+	}
+	return keys
+}
+
+// fieldChain climbs a selector expression while every step is a struct
+// field access, returning the root expression and the dotted chain.
+func (b *builder) fieldChain(sel *ast.SelectorExpr) (root ast.Expr, chain string, ok bool) {
+	var parts []string
+	e := ast.Expr(sel)
+	for {
+		se, isSel := e.(*ast.SelectorExpr)
+		if !isSel {
+			break
+		}
+		si := b.pass.TypesInfo.Selections[se]
+		if si == nil || si.Kind() != types.FieldVal {
+			break
+		}
+		parts = append([]string{se.Sel.Name}, parts...)
+		e = unparen(se.X)
+	}
+	if len(parts) == 0 {
+		return nil, "", false
+	}
+	return e, strings.Join(parts, "."), true
+}
+
+// localVar resolves e to a function-local (or parameter) variable object.
+func (b *builder) localVar(e ast.Expr) *types.Var {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := b.pass.TypesInfo.ObjectOf(id).(*types.Var)
+	if v == nil || v.IsField() || v.Pkg() == nil {
+		return nil
+	}
+	if v.Parent() != nil && v.Parent() == v.Pkg().Scope() {
+		return nil // package-level var: not locally tracked
+	}
+	return v
+}
+
+// candsOf derives the candidate set for a func-valued expression at walk
+// time (assignment right-hand sides). An empty result means "untracked".
+func (s *fnScope) candsOf(raw *rawFunc, e ast.Expr) []cand {
+	e = unparen(e)
+	switch e := e.(type) {
+	case *ast.FuncLit:
+		return []cand{{fn: s.b.litID(raw.f.ID, e)}}
+	case *ast.Ident:
+		switch obj := s.b.pass.TypesInfo.ObjectOf(e).(type) {
+		case *types.Func:
+			return []cand{{fn: FuncIDOf(obj)}}
+		case *types.Var:
+			if idx, isPar := s.params[obj]; isPar {
+				return []cand{{isPar: true, par: idx}}
+			}
+			return append([]cand(nil), s.vars[obj]...)
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := s.b.pass.TypesInfo.Uses[e.Sel].(*types.Func); ok {
+			return []cand{{fn: FuncIDOf(fn)}}
+		}
+		if root, chain, ok := s.b.fieldChain(e); ok {
+			if v := s.b.localVar(root); v != nil {
+				if idx, isPar := s.params[v]; isPar {
+					return []cand{{isPar: true, par: idx, chain: chain}}
+				}
+				if m := s.fields[v]; m != nil {
+					return append([]cand(nil), m[chain]...)
+				}
+			}
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return s.candsOf(raw, e.X)
+		}
+	}
+	return nil
+}
+
+// joinChain concatenates two dotted field chains.
+func joinChain(a, c string) string {
+	switch {
+	case a == "":
+		return c
+	case c == "":
+		return a
+	default:
+		return a + "." + c
+	}
+}
+
+// bindingOf captures what the walk knows about one bound value (a call
+// argument, receiver, or dynamic callee expression). Candidate lookup
+// happens later, in resolve.go.
+func (s *fnScope) bindingOf(raw *rawFunc, arg ast.Expr) *binding {
+	bd := &binding{scope: s, typ: s.b.typeOf(arg)}
+	core := unparen(arg)
+	if u, ok := core.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		core = unparen(u.X)
+	}
+	switch e := core.(type) {
+	case *ast.FuncLit:
+		bd.direct = []cand{{fn: s.b.litID(raw.f.ID, e)}}
+	case *ast.Ident:
+		if fn, ok := s.b.pass.TypesInfo.ObjectOf(e).(*types.Func); ok {
+			bd.direct = []cand{{fn: FuncIDOf(fn)}}
+			return bd
+		}
+		if v := s.b.localVar(e); v != nil {
+			if idx, isPar := s.params[v]; isPar {
+				bd.isParam, bd.par = true, idx
+			} else {
+				bd.v = v
+				bd.rootType = v.Type()
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := s.b.pass.TypesInfo.Uses[e.Sel].(*types.Func); ok {
+			// Package function or method value used as the bound value.
+			bd.direct = []cand{{fn: FuncIDOf(fn)}}
+			return bd
+		}
+		if root, chain, ok := s.b.fieldChain(e); ok {
+			bd.base = chain
+			bd.rootType = s.b.typeOf(root)
+			if v := s.b.localVar(root); v != nil {
+				if idx, isPar := s.params[v]; isPar {
+					bd.isParam, bd.par, bd.parChain = true, idx, chain
+					bd.v = nil
+				} else {
+					bd.v = v
+				}
+			}
+		}
+	}
+	return bd
+}
+
+// recordAssign tracks one lhs = rhs pair: local func vars, local struct
+// fields, the global field-assignment pools, and interface-boxing sites.
+func (s *fnScope) recordAssign(raw *rawFunc, lhs, rhs ast.Expr) {
+	lt := s.b.typeOf(lhs)
+	if rhs != nil && s.b.isBox(lt, rhs) {
+		s.b.addAllocSite(raw, rhs.Pos(), "interface boxing",
+			"assignment boxes "+typeDesc(s.b.typeOf(rhs))+" into interface")
+	}
+
+	var cands []cand
+	if rhs != nil {
+		cands = s.candsOf(raw, rhs)
+		rhsCore := unparen(rhs)
+		if u, ok := rhsCore.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			rhsCore = unparen(u.X)
+		}
+		if cl, ok := rhsCore.(*ast.CompositeLit); ok {
+			s.recordCompositeFields(raw, lhs, cl)
+		}
+	}
+	if len(cands) == 0 {
+		cands = []cand{{open: true}}
+	}
+
+	switch l := unparen(lhs).(type) {
+	case *ast.Ident:
+		if !isFuncType(lt) {
+			return
+		}
+		if v := s.b.localVar(l); v != nil {
+			if _, isPar := s.params[v]; !isPar {
+				s.vars[v] = append(s.vars[v], cands...)
+			}
+		}
+	case *ast.SelectorExpr:
+		if !isFuncType(lt) {
+			return
+		}
+		root, chain, ok := s.b.fieldChain(l)
+		if !ok {
+			return
+		}
+		if v := s.b.localVar(root); v != nil {
+			if _, isPar := s.params[v]; !isPar {
+				m := s.fields[v]
+				if m == nil {
+					m = map[string][]cand{}
+					s.fields[v] = m
+				}
+				m[chain] = append(m[chain], cands...)
+			}
+		}
+		if keys := fieldKeys(s.b.typeOf(root), chain); keys != nil {
+			for _, c := range cands {
+				s.b.addFieldAssign(keys, c)
+			}
+		}
+	}
+}
+
+// recordCompositeFields tracks func-typed fields initialized in a struct
+// composite literal: t := parallel.Task{F: fn}.
+func (s *fnScope) recordCompositeFields(raw *rawFunc, lhs ast.Expr, cl *ast.CompositeLit) {
+	clType := s.b.typeOf(cl)
+	if clType == nil {
+		return
+	}
+	if _, ok := clType.Underlying().(*types.Struct); !ok {
+		return
+	}
+	var lv *types.Var
+	if v := s.b.localVar(lhs); v != nil {
+		if _, isPar := s.params[v]; !isPar {
+			lv = v
+		}
+	}
+	for _, el := range cl.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || !isFuncType(s.b.typeOf(kv.Value)) {
+			continue
+		}
+		cands := s.candsOf(raw, kv.Value)
+		if len(cands) == 0 {
+			cands = []cand{{open: true}}
+		}
+		if lv != nil {
+			m := s.fields[lv]
+			if m == nil {
+				m = map[string][]cand{}
+				s.fields[lv] = m
+			}
+			m[key.Name] = append(m[key.Name], cands...)
+		}
+		if keys := fieldKeys(clType, key.Name); keys != nil {
+			for _, c := range cands {
+				s.b.addFieldAssign(keys, c)
+			}
+		}
+	}
+}
+
+// isBox reports whether assigning/passing src into a destination of type
+// dst boxes a concrete value into an interface, allocating. Direct-iface
+// values (pointers, chans, maps, funcs) and constants are exempt.
+func (b *builder) isBox(dst types.Type, src ast.Expr) bool {
+	if dst == nil {
+		return false
+	}
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	tv, ok := b.pass.TypesInfo.Types[src]
+	if !ok || tv.Type == nil || tv.Value != nil {
+		return false
+	}
+	st := tv.Type
+	if b, isBasic := st.(*types.Basic); isBasic && b.Kind() == types.UntypedNil {
+		return false
+	}
+	if _, isIface := st.Underlying().(*types.Interface); isIface {
+		return false
+	}
+	return !directIface(st)
+}

@@ -1,0 +1,42 @@
+// Package callgraph builds a conservative, interprocedural call graph of
+// the module as package-level analysis facts (DESIGN.md §12).
+//
+// The analyzer itself reports nothing: it summarizes each package — every
+// function's allocation sites, wall-clock reads, outgoing call edges, and
+// callback behavior — and exports the summary as a fact. The hotalloc and
+// walltime analyzers assemble the facts of a package's import closure into
+// a universe and walk it: hotalloc proves //dslint:hotpath functions
+// transitively allocation-free, walltime proves solver step code never
+// reaches a wall-clock read that detrand's per-package check would miss.
+//
+// Precision model (in order of preference at each call site):
+//
+//  1. static callees — direct edges;
+//  2. calls through a parameter or a parameter's struct field become
+//     ParamField callback summaries, resolved at call sites where the
+//     caller binds a known function (parallel.Pool.Run(&s.mulTask, nb)
+//     yields a precise edge to the mulTask closure, not to every Task in
+//     the module);
+//  3. interface dispatch by class-hierarchy analysis over the method sets
+//     of the universe's named types;
+//  4. untracked func values fall back to field-assignment pools (every
+//     function assigned to that struct field) and, last, to the pool of
+//     address-taken functions with a matching signature.
+package callgraph
+
+import (
+	"southwell/internal/analysis/framework"
+)
+
+// Analyzer builds and exports the package's call-graph fact.
+var Analyzer = &framework.Analyzer{
+	Name: Name,
+	Doc: "build interprocedural call-graph facts (allocation sites, wall-clock reads, call edges, " +
+		"callback summaries) consumed by hotalloc and walltime; reports nothing itself",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	fact := newBuilder(pass).buildAll()
+	return pass.ExportPackageFact(fact)
+}

@@ -1,0 +1,150 @@
+package callgraph_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"southwell/internal/analysis/analysistest"
+	"southwell/internal/analysis/callgraph"
+	"southwell/internal/analysis/framework"
+)
+
+func decodeFact(t *testing.T, store *framework.FactStore, pkg string) *callgraph.Fact {
+	t.Helper()
+	data := store.Encoded(pkg, callgraph.Name)
+	if data == nil {
+		t.Fatalf("no callgraph fact exported for %s", pkg)
+	}
+	var f callgraph.Fact
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&f); err != nil {
+		t.Fatalf("decoding callgraph fact of %s: %v", pkg, err)
+	}
+	return &f
+}
+
+func mustFunc(t *testing.T, f *callgraph.Fact, id string) *callgraph.Func {
+	t.Helper()
+	fn := f.Funcs[id]
+	if fn == nil {
+		t.Fatalf("fact has no function %s", id)
+	}
+	return fn
+}
+
+// TestFacts pins the exported fact model: FuncIDs (methods, literals),
+// hotpath and exemption flags, allocation sites, static edges, the
+// two-level field-assignment pools, signature pools, ParamField callback
+// summaries propagated across method hops and package boundaries, and the
+// method tables CHA resolves against.
+func TestFacts(t *testing.T) {
+	store := analysistest.RunSuite(t, analysistest.TestData(),
+		[]*framework.Analyzer{callgraph.Analyzer}, "cg/a")
+
+	dep := decodeFact(t, store, "cg/dep")
+	a := decodeFact(t, store, "cg/a")
+
+	// Two-hop ParamField propagation: help's receiver-relative call lifts
+	// into Run's parameter-0 summary.
+	help := mustFunc(t, dep, "cg/dep.(*Task).help")
+	if len(help.Calls) != 1 || help.Calls[0] != (callgraph.ParamField{Param: -1, Chain: "F"}) {
+		t.Errorf("help.Calls = %v, want [{-1 F}]", help.Calls)
+	}
+	run := mustFunc(t, dep, "cg/dep.(*Pool).Run")
+	if len(run.Calls) != 1 || run.Calls[0] != (callgraph.ParamField{Param: 0, Chain: "F"}) {
+		t.Errorf("Run.Calls = %v, want [{0 F}]", run.Calls)
+	}
+
+	// Flags and sites.
+	if !mustFunc(t, a, "cg/a.Mul").Hotpath {
+		t.Error("Mul is not marked hotpath")
+	}
+	if !mustFunc(t, a, "cg/a.refill").ExemptHotalloc {
+		t.Error("refill is not marked exempt from hotalloc")
+	}
+	ns := mustFunc(t, a, "cg/a.newScratch")
+	var kinds []string
+	for _, s := range ns.AllocSites {
+		kinds = append(kinds, s.Kind)
+	}
+	found := false
+	for _, k := range kinds {
+		if k == "composite literal" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("newScratch alloc sites = %v, want a composite literal", kinds)
+	}
+
+	// The closure bound in the constructor gets a literal FuncID.
+	lit := mustFunc(t, a, "cg/a.newScratch$1")
+	if len(lit.Edges) != 1 || lit.Edges[0].Callee != "cg/a.mulRows" {
+		t.Errorf("newScratch$1 edges = %v, want one static edge to mulRows", lit.Edges)
+	}
+
+	// Two-level field pools: the root-type key is most specific and holds
+	// only the mul binding; the immediate-owner key pools every Task.F.
+	if got := a.FieldAssigns["cg/a.scratch.mul.F"]; len(got) != 1 || got[0] != "cg/a.newScratch$1" {
+		t.Errorf("scratch.mul.F pool = %v, want [cg/a.newScratch$1]", got)
+	}
+	if got := a.FieldAssigns["cg/a.scratch.add.F"]; len(got) != 1 || got[0] != "cg/a.addRows" {
+		t.Errorf("scratch.add.F pool = %v, want [cg/a.addRows]", got)
+	}
+	if got := a.FieldAssigns["cg/dep.Task.F"]; len(got) != 2 ||
+		got[0] != "cg/a.addRows" || got[1] != "cg/a.newScratch$1" {
+		t.Errorf("dep.Task.F pool = %v, want [cg/a.addRows cg/a.newScratch$1]", got)
+	}
+
+	// Mul: a static edge to Run, plus the fixpoint-materialized dispatch
+	// edge carrying both field keys (most specific first) and the
+	// signature fallback.
+	mul := mustFunc(t, a, "cg/a.Mul")
+	var static, dyn *callgraph.Edge
+	for i := range mul.Edges {
+		e := &mul.Edges[i]
+		if e.Callee == "cg/dep.(*Pool).Run" {
+			static = e
+		}
+		if len(e.FieldKeys) > 0 {
+			dyn = e
+		}
+	}
+	if static == nil {
+		t.Fatalf("Mul has no static edge to Run: %+v", mul.Edges)
+	}
+	if dyn == nil {
+		t.Fatalf("Mul has no field-dispatch edge: %+v", mul.Edges)
+	}
+	if len(dyn.FieldKeys) != 2 || dyn.FieldKeys[0] != "cg/a.scratch.mul.F" || dyn.FieldKeys[1] != "cg/dep.Task.F" {
+		t.Errorf("dispatch edge keys = %v, want [cg/a.scratch.mul.F cg/dep.Task.F]", dyn.FieldKeys)
+	}
+	if dyn.Sig != "func(lo int, hi int)" && dyn.Sig != "func(int, int)" {
+		t.Errorf("dispatch edge sig = %q", dyn.Sig)
+	}
+
+	// Signature pool: addRows joined when referenced as a value.
+	sigPool := a.SigFuncs[dyn.Sig]
+	hasAdd := false
+	for _, fn := range sigPool {
+		if fn == "cg/a.addRows" {
+			hasAdd = true
+		}
+	}
+	if !hasAdd {
+		t.Errorf("sig pool %q = %v, want it to contain cg/a.addRows", dyn.Sig, sigPool)
+	}
+
+	// Method tables for CHA.
+	var taskMethods []string
+	for _, tm := range dep.Types {
+		if tm.Type == "cg/dep.Task" {
+			for _, m := range tm.Methods {
+				taskMethods = append(taskMethods, m.Fn)
+			}
+		}
+	}
+	if len(taskMethods) != 1 || taskMethods[0] != "cg/dep.(*Task).help" {
+		t.Errorf("Task methods = %v, want [cg/dep.(*Task).help]", taskMethods)
+	}
+}

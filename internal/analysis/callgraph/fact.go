@@ -1,0 +1,123 @@
+package callgraph
+
+// The package fact: a conservative, flow-insensitive summary of every
+// function in one package, precise enough for interprocedural reachability
+// (hotalloc, walltime) without whole-program SSA. All fields are exported
+// for gob: facts travel through framework.FactStore and the driver's warm
+// cache.
+
+// Site is one point of interest inside a function body: an allocation
+// (hotalloc) or a wall-clock read (walltime).
+type Site struct {
+	// Kind is a short classification: "make", "new", "growing append",
+	// "closure capture", "method value", "interface boxing",
+	// "string concatenation", "string conversion", "composite literal",
+	// "go statement" for allocations; "wall clock" for time reads.
+	Kind string
+	// Desc is the human-readable detail ("make([]float64, nb)",
+	// "time.Now").
+	Desc string
+	// Pos is "file.go:line" (basename), for the call-path in findings.
+	Pos string
+}
+
+// ParamField says "this function may invoke the func value stored at
+// parameter Param (receiver = -1), under field chain Chain (” = the
+// parameter itself is the func)". Callers binding a concrete func or a
+// struct with known field assignments at such a site get precise edges
+// instead of class-hierarchy fallback.
+type ParamField struct {
+	Param int    // 0-based parameter index; -1 is the method receiver
+	Chain string // e.g. "F" for parallel.Task.F; "" = the param itself
+}
+
+// Edge is one call out of a function. Exactly one resolution strategy is
+// populated:
+//
+//   - Callee: a static target (FuncID). If the target's package has a fact
+//     in the analysis universe the walk descends; otherwise the call is
+//     external and subject to the consuming analyzer's allowlist.
+//   - Method + IfaceMethods: dynamic interface dispatch, resolved at walk
+//     time by CHA method-set matching over the universe's named types.
+//   - FieldKeys (with Sig fallback): a call through a func-typed struct
+//     field that could not be resolved locally; candidates come from the
+//     first listed field-assignment pool that is non-empty in the universe
+//     (keys are ordered most specific first — see fieldKeys in build.go).
+//   - Sig alone: a call through an untracked func value; candidates are
+//     every address-taken function of that signature in the universe.
+type Edge struct {
+	Callee string
+
+	Method       string
+	Iface        string // printable interface name, for findings
+	IfaceMethods []MethodSig
+
+	FieldKeys []string
+	Sig       string
+
+	Pos string // "file.go:line" of the call
+
+	// NoHotalloc / NoWalltime: the call line carries a //dslint:ignore
+	// directive for the respective analyzer; its walk must not traverse
+	// this edge.
+	NoHotalloc bool
+	NoWalltime bool
+}
+
+// MethodSig identifies one interface method for CHA matching.
+type MethodSig struct {
+	Name string
+	Sig  string // canonical receiver-less signature string
+}
+
+// MethodRef maps a concrete type's method to its implementation.
+type MethodRef struct {
+	Name string
+	Sig  string
+	Fn   string // FuncID of the implementation
+}
+
+// TypeMethods is the method set of one named (or pointer-to-named)
+// concrete type, for interface CHA.
+type TypeMethods struct {
+	Type    string // "pkg/path.Name"
+	Methods []MethodRef
+}
+
+// Func is the summary of one function, method, or function literal.
+type Func struct {
+	ID      string
+	Hotpath bool // declared with a //dslint:hotpath doc directive
+
+	// ExemptHotalloc / ExemptWalltime: the declaration line carries a
+	// //dslint:ignore for the analyzer; the function is trusted — its
+	// sites are dropped and walks do not descend into it.
+	ExemptHotalloc bool
+	ExemptWalltime bool
+
+	AllocSites []Site
+	WallSites  []Site
+	Edges      []Edge
+	Calls      []ParamField // callback summary (see ParamField)
+}
+
+// Fact is the exported package summary.
+type Fact struct {
+	// Funcs maps FuncID to summary for every function in the package.
+	Funcs map[string]*Func
+	// Types lists the package's named types with their method sets.
+	Types []TypeMethods
+	// FieldAssigns maps "pkg/path.OwnerType.field" — the immediate owner
+	// struct of a func-typed field — to the FuncIDs assigned to that field
+	// anywhere in the package. The pseudo-candidate "?" marks an open set
+	// (something untrackable was assigned): consumers must add
+	// signature-fallback candidates.
+	FieldAssigns map[string][]string
+	// SigFuncs maps a canonical signature string to the package's
+	// address-taken functions of that signature (the CHA fallback pool
+	// for calls through untracked func values).
+	SigFuncs map[string][]string
+}
+
+// Name is the analyzer name facts are exported under.
+const Name = "callgraph"

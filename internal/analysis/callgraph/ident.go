@@ -1,0 +1,131 @@
+package callgraph
+
+// Stable cross-package identifiers: FuncIDs name functions and methods,
+// type keys name named types, and canonical signature strings support
+// method-set matching and the signature-fallback candidate pool. All three
+// are pure functions of the type information, so two packages (or two
+// sessions restoring facts from the warm cache) agree on every name.
+
+import (
+	"fmt"
+	"go/types"
+)
+
+// pathQual qualifies type names by full package path, so signature strings
+// are unambiguous across the module.
+func pathQual(p *types.Package) string { return p.Path() }
+
+// FuncIDOf returns the stable identifier of a declared function or method:
+// "pkg/path.Name" or "pkg/path.(*Recv).Name". Generic instantiations map
+// to their origin.
+func FuncIDOf(fn *types.Func) string {
+	fn = fn.Origin()
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		ptr := ""
+		if p, isPtr := rt.(*types.Pointer); isPtr {
+			rt = p.Elem()
+			ptr = "*"
+		}
+		name := "?"
+		if n, isNamed := rt.(*types.Named); isNamed {
+			name = n.Obj().Name()
+		}
+		pkg := ""
+		if fn.Pkg() != nil {
+			pkg = fn.Pkg().Path()
+		}
+		return fmt.Sprintf("%s.(%s%s).%s", pkg, ptr, name, fn.Name())
+	}
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// PkgOfID returns the package-path part of a FuncID ("" if unknown).
+func PkgOfID(id string) string {
+	// IDs are "pkg.Name", "pkg.(Recv).Name", or "<...>$N" for literals
+	// (the literal suffix does not change the package part).
+	for i := 0; i < len(id); i++ {
+		if id[i] == '.' && i+1 < len(id) && id[i+1] == '(' {
+			return id[:i]
+		}
+	}
+	// Last dot before any "$" separates pkg from a top-level func name.
+	end := len(id)
+	for i := 0; i < len(id); i++ {
+		if id[i] == '$' {
+			end = i
+			break
+		}
+	}
+	last := -1
+	for i := 0; i < end; i++ {
+		if id[i] == '.' {
+			last = i
+		}
+	}
+	if last < 0 {
+		return ""
+	}
+	return id[:last]
+}
+
+// typeKey names a named type (pointers dereferenced): "pkg/path.Name".
+// Returns "" for unnamed types.
+func typeKey(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// sigStr renders a canonical receiver-less signature string.
+func sigStr(sig *types.Signature) string {
+	bare := types.NewSignatureType(nil, nil, nil, sig.Params(), sig.Results(), sig.Variadic())
+	return types.TypeString(bare, pathQual)
+}
+
+// ifaceMethodSet lists an interface's complete method set (embedded
+// interfaces flattened), sorted by name for deterministic facts.
+func ifaceMethodSet(iface *types.Interface) []MethodSig {
+	iface = iface.Complete()
+	out := make([]MethodSig, 0, iface.NumMethods())
+	for i := 0; i < iface.NumMethods(); i++ {
+		m := iface.Method(i)
+		out = append(out, MethodSig{Name: m.Name(), Sig: sigStr(m.Type().(*types.Signature))})
+	}
+	// NumMethods order is already sorted by (package, name) per go/types;
+	// keep it as-is.
+	return out
+}
+
+// directIface reports whether values of t fit an interface word directly,
+// so converting t to an interface type does not allocate (pointers,
+// channels, maps, funcs, unsafe.Pointer, and single-field wrappers of
+// them).
+func directIface(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	case *types.Struct:
+		return u.NumFields() == 1 && directIface(u.Field(0).Type())
+	case *types.Array:
+		return u.Len() == 1 && directIface(u.Elem())
+	case *types.Interface:
+		return true // already an interface: conversion re-wraps, no box
+	}
+	return false
+}

@@ -1,0 +1,277 @@
+package callgraph
+
+// Post-walk resolution. Bindings captured during the AST walk are resolved
+// here, after every assignment in the package has been seen (the tracking
+// is flow-insensitive). Dynamic calls resolve once; static calls resolve
+// against their callee's ParamField callback summary, iterated to a
+// fixpoint because same-package summaries grow as resolution discovers new
+// parameter-relative calls (Pool.Run -> Task.help -> t.F()).
+
+import (
+	"go/types"
+	"sort"
+)
+
+// depFact returns (and caches) the callgraph fact of a dependency package.
+func (b *builder) depFact(pkgPath string) *Fact {
+	if f, ok := b.depFacts[pkgPath]; ok {
+		return f
+	}
+	var f Fact
+	ok, err := b.pass.ImportPackageFact(pkgPath, Name, &f)
+	if err != nil || !ok {
+		b.depFacts[pkgPath] = nil
+		return nil
+	}
+	b.depFacts[pkgPath] = &f
+	return &f
+}
+
+// callbacksOf returns the callback summary of a static callee and whether
+// the callee is in the analysis universe at all. Same-package callees read
+// the live summary (it grows during the fixpoint); cross-package callees
+// read their exported fact.
+func (b *builder) callbacksOf(calleeID string) ([]ParamField, bool) {
+	pkg := PkgOfID(calleeID)
+	if pkg == b.pkg {
+		if raw := b.raws[calleeID]; raw != nil {
+			return raw.f.Calls, true
+		}
+		return nil, false
+	}
+	if f := b.depFact(pkg); f != nil {
+		if fn := f.Funcs[calleeID]; fn != nil {
+			return fn.Calls, true
+		}
+	}
+	return nil, false
+}
+
+// resolveBinding materializes what a resolved binding implies for the
+// function raw: precise edges for concrete candidates, callback-summary
+// entries (attached to the enclosing named function) for parameter-relative
+// ones, and pool-fallback edges when the candidate set is open or empty.
+// chain is the field chain the callee invokes under the bound value.
+// Returns whether anything new was added.
+func (b *builder) resolveBinding(raw *rawFunc, bind *binding, chain, pos string, noHot, noWall bool) bool {
+	if bind == nil {
+		return false
+	}
+	changed := false
+	matched := false
+	open := false
+
+	use := func(c cand, extra string) {
+		switch {
+		case c.fn != "":
+			if extra != "" {
+				// A concrete function has no fields; an unresolved
+				// remainder means the tracking lost precision.
+				open = true
+				return
+			}
+			if b.addEdge(raw, Edge{Callee: c.fn, Pos: pos, NoHotalloc: noHot, NoWalltime: noWall}) {
+				changed = true
+			}
+			matched = true
+		case c.isPar:
+			if b.addCall(raw.paramRaw, ParamField{Param: c.par, Chain: joinChain(c.chain, extra)}) {
+				changed = true
+			}
+			matched = true
+		case c.open:
+			open = true
+		}
+	}
+
+	if bind.isParam {
+		if b.addCall(raw.paramRaw, ParamField{Param: bind.par, Chain: joinChain(bind.parChain, chain)}) {
+			changed = true
+		}
+		matched = true
+	}
+	for _, c := range bind.direct {
+		use(c, chain)
+	}
+	if bind.v != nil && bind.scope != nil {
+		full := joinChain(bind.base, chain)
+		if full == "" {
+			for _, c := range bind.scope.vars[bind.v] {
+				use(c, "")
+			}
+		} else if m := bind.scope.fields[bind.v]; m != nil {
+			cs, ok := m[full]
+			if ok {
+				for _, c := range cs {
+					use(c, "")
+				}
+			} else {
+				open = true // field never assigned locally: consult pools
+			}
+		} else {
+			open = true
+		}
+	}
+
+	if matched && !open {
+		return changed
+	}
+
+	// Pool fallback from static types.
+	rootT := bind.rootType
+	fullChain := joinChain(bind.base, chain)
+	if rootT == nil {
+		rootT = bind.typ
+		fullChain = chain
+	}
+	var sigs string
+	if ft := chainType(rootT, fullChain); ft != nil {
+		if fsig, ok := ft.Underlying().(*types.Signature); ok {
+			sigs = sigStr(fsig)
+		}
+	} else if isFuncType(bind.typ) && chain == "" {
+		sigs = sigStr(bind.typ.Underlying().(*types.Signature))
+	}
+	keys := fieldKeys(rootT, fullChain)
+	if len(keys) > 0 || sigs != "" {
+		if b.addEdge(raw, Edge{FieldKeys: keys, Sig: sigs, Pos: pos, NoHotalloc: noHot, NoWalltime: noWall}) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// resolveCalls resolves every deferred dynamic call once, then iterates
+// static-call callback resolution to a fixpoint.
+func (b *builder) resolveCalls() {
+	for _, id := range b.order {
+		raw := b.raws[id]
+		for _, dc := range raw.dyns {
+			b.resolveBinding(raw, dc.bind, "", dc.pos, dc.noHot, dc.noWall)
+		}
+	}
+	for iter := 0; iter < 32; iter++ {
+		changed := false
+		for _, id := range b.order {
+			raw := b.raws[id]
+			for i := range raw.calls {
+				rc := &raw.calls[i]
+				pfs, inUniverse := b.callbacksOf(rc.callee)
+				if !inUniverse {
+					// External callee: it may invoke any func value we
+					// hand it, so resolve every binding conservatively.
+					if b.resolveExternal(raw, rc) {
+						changed = true
+					}
+					continue
+				}
+				for _, pf := range pfs {
+					var bind *binding
+					switch {
+					case pf.Param == -1:
+						bind = rc.recv
+					case pf.Param >= 0 && pf.Param < len(rc.args):
+						bind = rc.args[pf.Param]
+					}
+					if b.resolveBinding(raw, bind, pf.Chain, rc.pos, rc.noHot, rc.noWall) {
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// resolveExternal conservatively assumes an out-of-universe callee invokes
+// every func-typed value bound at the call site (sort.SliceStable calling
+// its less closure, sync.Once.Do calling its method value).
+func (b *builder) resolveExternal(raw *rawFunc, rc *rawCall) bool {
+	changed := false
+	resolveIfFunc := func(bind *binding) {
+		if bind == nil || !isFuncType(bind.typ) {
+			return
+		}
+		if b.resolveBinding(raw, bind, "", rc.pos, rc.noHot, rc.noWall) {
+			changed = true
+		}
+	}
+	resolveIfFunc(rc.recv)
+	for _, bind := range rc.args {
+		resolveIfFunc(bind)
+	}
+	return changed
+}
+
+// finish assembles the exported fact: function summaries, the package's
+// named-type method sets for CHA, and the sorted candidate pools.
+func (b *builder) finish() *Fact {
+	fact := &Fact{
+		Funcs:        make(map[string]*Func, len(b.raws)),
+		FieldAssigns: make(map[string][]string, len(b.fieldAssigns)),
+		SigFuncs:     make(map[string][]string, len(b.sigFuncs)),
+	}
+	for id, raw := range b.raws {
+		fact.Funcs[id] = raw.f
+	}
+	for key, set := range b.fieldAssigns {
+		fact.FieldAssigns[key] = sortedKeys(set)
+	}
+	for key, set := range b.sigFuncs {
+		fact.SigFuncs[key] = sortedKeys(set)
+	}
+
+	// Named types and their (pointer) method sets, for interface CHA.
+	scope := b.pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		tm := TypeMethods{Type: typeKey(named)}
+		ms := types.NewMethodSet(types.NewPointer(named))
+		for i := 0; i < ms.Len(); i++ {
+			sel := ms.At(i)
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				continue
+			}
+			fsig, ok := fn.Type().(*types.Signature)
+			if !ok {
+				continue
+			}
+			if fsig.Recv() != nil {
+				if _, isIface := fsig.Recv().Type().Underlying().(*types.Interface); isIface {
+					continue // promoted from an embedded interface: no impl here
+				}
+			}
+			tm.Methods = append(tm.Methods, MethodRef{
+				Name: fn.Name(),
+				Sig:  sigStr(fsig),
+				Fn:   FuncIDOf(fn),
+			})
+		}
+		sort.Slice(tm.Methods, func(i, j int) bool { return tm.Methods[i].Name < tm.Methods[j].Name })
+		fact.Types = append(fact.Types, tm)
+	}
+	sort.Slice(fact.Types, func(i, j int) bool { return fact.Types[i].Type < fact.Types[j].Type })
+	return fact
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,40 @@
+// Package a exercises the freelist-scratch pattern the real sparse
+// kernels use: task callbacks are bound in a constructor, the scratch
+// reaches the kernel through an opaque getter, and resolution must fall
+// back to the two-level field pools (most specific root-type key first).
+package a
+
+import "cg/dep"
+
+type scratch struct {
+	mul dep.Task
+	add dep.Task
+}
+
+var pool dep.Pool
+
+func newScratch() *scratch {
+	s := &scratch{}
+	s.mul.F = func(lo, hi int) { mulRows(lo, hi) }
+	s.add.F = addRows
+	return s
+}
+
+func mulRows(lo, hi int) {}
+
+func addRows(lo, hi int) {}
+
+func get() *scratch {
+	return newScratch()
+}
+
+//dslint:hotpath
+func Mul(n int) {
+	s := get()
+	pool.Run(&s.mul, n)
+}
+
+//dslint:ignore hotalloc freelist refill, measured cold
+func refill() []int {
+	return make([]int, 4)
+}

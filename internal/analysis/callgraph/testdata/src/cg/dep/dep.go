@@ -1,0 +1,25 @@
+// Package dep is a miniature of internal/parallel for the callgraph facts
+// test: Pool.Run reaches the task callback through a helper method, so the
+// ParamField summary must propagate two hops (help's receiver-relative
+// call lifts into Run's parameter summary during the fixpoint).
+package dep
+
+// Task carries a range callback.
+type Task struct {
+	F func(lo, hi int)
+}
+
+// Pool dispatches tasks.
+type Pool struct {
+	n int
+}
+
+// Run hands the task to the helper; its exported summary must say
+// "parameter 0's field F is called".
+func (p *Pool) Run(t *Task, n int) {
+	t.help(n)
+}
+
+func (t *Task) help(n int) {
+	t.F(0, n)
+}

@@ -1,0 +1,281 @@
+package callgraph
+
+// The analysis universe: the callgraph facts of a package's import closure
+// merged into one queryable graph, plus the deterministic reachability
+// walk hotalloc and walltime are built on.
+
+import (
+	"fmt"
+	"go/types"
+	"sort"
+	"strings"
+
+	"southwell/internal/analysis/framework"
+)
+
+// Universe merges the callgraph facts of the package under analysis and
+// its transitive imports.
+type Universe struct {
+	funcs      map[string]*Func
+	fieldPools map[string][]string
+	sigPools   map[string][]string
+	types      []TypeMethods
+}
+
+// NewUniverse imports the callgraph facts of pass's package and every
+// package in its import closure (packages without facts — the standard
+// library — are simply absent: calls into them are "external").
+func NewUniverse(pass *framework.Pass) (*Universe, error) {
+	paths := map[string]bool{pass.Pkg.Path(): true}
+	var visit func(p *types.Package)
+	visit = func(p *types.Package) {
+		if paths[p.Path()] {
+			return
+		}
+		paths[p.Path()] = true
+		for _, imp := range p.Imports() {
+			visit(imp)
+		}
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		visit(imp)
+	}
+
+	u := &Universe{
+		funcs:      map[string]*Func{},
+		fieldPools: map[string][]string{},
+		sigPools:   map[string][]string{},
+	}
+	sorted := make([]string, 0, len(paths))
+	for p := range paths {
+		sorted = append(sorted, p)
+	}
+	sort.Strings(sorted)
+	for _, p := range sorted {
+		var f Fact
+		ok, err := pass.ImportPackageFact(p, Name, &f)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		for id, fn := range f.Funcs {
+			u.funcs[id] = fn
+		}
+		for k, v := range f.FieldAssigns {
+			u.fieldPools[k] = mergeSorted(u.fieldPools[k], v)
+		}
+		for k, v := range f.SigFuncs {
+			u.sigPools[k] = mergeSorted(u.sigPools[k], v)
+		}
+		u.types = append(u.types, f.Types...)
+	}
+	sort.Slice(u.types, func(i, j int) bool { return u.types[i].Type < u.types[j].Type })
+	return u, nil
+}
+
+func mergeSorted(a, b []string) []string {
+	set := map[string]bool{}
+	for _, s := range a {
+		set[s] = true
+	}
+	for _, s := range b {
+		set[s] = true
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Func returns the summary for a FuncID, or nil when the function is
+// outside the universe (external).
+func (u *Universe) Func(id string) *Func { return u.funcs[id] }
+
+// implementers returns the FuncIDs implementing method on every universe
+// type whose method set satisfies the full interface method list.
+func (u *Universe) implementers(method string, ifaceMethods []MethodSig) []string {
+	var out []string
+	for _, tm := range u.types {
+		if !satisfies(tm, ifaceMethods) {
+			continue
+		}
+		for _, m := range tm.Methods {
+			if m.Name == method {
+				out = append(out, m.Fn)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func satisfies(tm TypeMethods, want []MethodSig) bool {
+	for _, w := range want {
+		found := false
+		for _, m := range tm.Methods {
+			if m.Name == w.Name && m.Sig == w.Sig {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return len(want) > 0
+}
+
+// edgeTargets resolves one edge to its candidate FuncIDs plus, when the
+// edge leads out of the universe, the external callee ID. unresolved is
+// true when a dynamic edge had no candidate pool at all.
+func (u *Universe) edgeTargets(e *Edge) (inUniverse []string, external string, unresolved bool) {
+	switch {
+	case e.Callee != "":
+		if u.funcs[e.Callee] != nil {
+			return []string{e.Callee}, "", false
+		}
+		return nil, e.Callee, false
+	case e.Method != "":
+		targets := u.implementers(e.Method, e.IfaceMethods)
+		return targets, "", len(targets) == 0
+	default:
+		var cands []string
+		openPool := true
+		for _, key := range e.FieldKeys {
+			if pool := u.fieldPools[key]; len(pool) > 0 {
+				openPool = false
+				for _, fn := range pool {
+					if fn == "?" {
+						openPool = true
+						continue
+					}
+					cands = append(cands, fn)
+				}
+				break // most specific non-empty pool wins
+			}
+		}
+		if openPool && e.Sig != "" {
+			cands = mergeSorted(cands, u.sigPools[e.Sig])
+		}
+		sort.Strings(cands)
+		return cands, "", len(cands) == 0
+	}
+}
+
+// WalkMode selects which exemption flags and edge suppressions apply.
+type WalkMode int
+
+const (
+	// ModeHotalloc walks for allocation-freedom (hotalloc).
+	ModeHotalloc WalkMode = iota
+	// ModeWalltime walks for wall-clock-freedom (walltime).
+	ModeWalltime
+)
+
+func (m WalkMode) skipFunc(f *Func) bool {
+	if m == ModeHotalloc {
+		return f.ExemptHotalloc
+	}
+	return f.ExemptWalltime
+}
+
+func (m WalkMode) skipEdge(e *Edge) bool {
+	if m == ModeHotalloc {
+		return e.NoHotalloc
+	}
+	return e.NoWalltime
+}
+
+// Reached is one function reached from a walk root, with the call path
+// that discovered it.
+type Reached struct {
+	Fn   *Func
+	Path []string // "funcID (file.go:NN)" steps from the root, inclusive
+}
+
+// Walk explores the universe from root (which must be in the universe),
+// honoring mode's exemptions and edge suppressions, and calls visit for
+// every reached function exactly once (breadth-first, deterministic
+// order). onExternal is called once per distinct external callee with the
+// path to its call site; onUnresolved once per unresolved dynamic edge.
+// Either may be nil.
+func (u *Universe) Walk(root string, mode WalkMode, visit func(Reached), onExternal func(callee string, path []string), onUnresolved func(desc string, path []string)) {
+	rootFn := u.funcs[root]
+	if rootFn == nil || mode.skipFunc(rootFn) {
+		return
+	}
+	type qitem struct {
+		id   string
+		path []string
+	}
+	seen := map[string]bool{root: true}
+	extSeen := map[string]bool{}
+	queue := []qitem{{root, []string{root}}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		fn := u.funcs[it.id]
+		if fn == nil {
+			continue
+		}
+		if visit != nil {
+			visit(Reached{Fn: fn, Path: it.path})
+		}
+		for i := range fn.Edges {
+			e := &fn.Edges[i]
+			if mode.skipEdge(e) {
+				continue
+			}
+			step := fmt.Sprintf("%s (%s)", it.id, e.Pos)
+			targets, external, unresolved := u.edgeTargets(e)
+			if external != "" && onExternal != nil && !extSeen["x|"+external] {
+				extSeen["x|"+external] = true
+				onExternal(external, append(append([]string{}, it.path[:len(it.path)-1]...), step))
+			}
+			if unresolved && onUnresolved != nil {
+				desc := dynDesc(e)
+				if !extSeen["u|"+desc+"|"+e.Pos] {
+					extSeen["u|"+desc+"|"+e.Pos] = true
+					onUnresolved(desc, append(append([]string{}, it.path[:len(it.path)-1]...), step))
+				}
+			}
+			for _, t := range targets {
+				if seen[t] {
+					continue
+				}
+				seen[t] = true
+				tf := u.funcs[t]
+				if tf == nil || mode.skipFunc(tf) {
+					continue
+				}
+				path := make([]string, 0, len(it.path)+1)
+				path = append(path, it.path[:len(it.path)-1]...)
+				path = append(path, step, t)
+				queue = append(queue, qitem{t, path})
+			}
+		}
+	}
+}
+
+// dynDesc names an unresolved dynamic edge for diagnostics.
+func dynDesc(e *Edge) string {
+	switch {
+	case e.Method != "":
+		return fmt.Sprintf("interface call %s.%s", e.Iface, e.Method)
+	case len(e.FieldKeys) > 0:
+		return "call through func field " + e.FieldKeys[0]
+	case e.Sig != "":
+		return "call through func value " + e.Sig
+	default:
+		return "dynamic call"
+	}
+}
+
+// FormatPath renders a call path for a diagnostic message.
+func FormatPath(path []string) string {
+	return strings.Join(path, " -> ")
+}

@@ -1,0 +1,469 @@
+package callgraph
+
+// The AST visitor: dispatches statements and expressions of one function
+// body to site recording, assignment tracking, and call handling. Nested
+// function literals get their own rawFunc but share the lexical scope maps
+// (closures see the enclosing function's locals).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"southwell/internal/analysis/lintutil"
+)
+
+// walk visits n recording sites, assignments, and calls into raw. sig is
+// the signature of the function whose body n belongs to (for return-site
+// boxing checks).
+func (s *fnScope) walk(raw *rawFunc, sig *types.Signature, n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			s.visitLit(raw, n)
+			return false
+
+		case *ast.CallExpr:
+			s.call(raw, n)
+
+		case *ast.GoStmt:
+			s.b.addAllocSite(raw, n.Pos(), "go statement", "spawning a goroutine")
+
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					s.recordAssign(raw, n.Lhs[i], n.Rhs[i])
+				}
+			} else {
+				for _, l := range n.Lhs {
+					s.recordAssign(raw, l, nil)
+				}
+			}
+			if n.Tok == token.ADD_ASSIGN && isStringType(s.b.typeOf(n.Lhs[0])) {
+				s.b.addAllocSite(raw, n.Pos(), "string concatenation", "s += ...")
+			}
+
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) {
+					s.recordAssign(raw, name, n.Values[i])
+				}
+			}
+
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(s.b.typeOf(n)) {
+				if tv, ok := s.b.pass.TypesInfo.Types[ast.Expr(n)]; !ok || tv.Value == nil {
+					s.b.addAllocSite(raw, n.OpPos, "string concatenation", "string +")
+				}
+			}
+
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if cl, ok := unparen(n.X).(*ast.CompositeLit); ok {
+					s.b.addAllocSite(raw, n.Pos(), "composite literal",
+						"&"+typeDesc(s.b.typeOf(cl))+"{...} escapes to heap")
+				}
+			}
+
+		case *ast.CompositeLit:
+			if t := s.b.typeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					s.b.addAllocSite(raw, n.Pos(), "composite literal", typeDesc(t)+"{...}")
+				}
+			}
+
+		case *ast.SelectorExpr:
+			s.visitSelector(raw, n)
+
+		case *ast.Ident:
+			// A named function referenced as a value (not the target of a
+			// call) joins the signature CHA pool.
+			if !s.b.callFuns[ast.Expr(n)] {
+				if fn, ok := s.b.pass.TypesInfo.Uses[n].(*types.Func); ok {
+					if fsig, ok := fn.Type().(*types.Signature); ok && fsig.Recv() == nil {
+						s.b.addSigFunc(sigStr(fsig), FuncIDOf(fn))
+					}
+				}
+			}
+
+		case *ast.ReturnStmt:
+			if sig != nil && sig.Results() != nil && len(n.Results) == sig.Results().Len() {
+				for i, r := range n.Results {
+					if s.b.isBox(sig.Results().At(i).Type(), r) {
+						s.b.addAllocSite(raw, r.Pos(), "interface boxing",
+							"return boxes "+typeDesc(s.b.typeOf(r))+" into interface")
+					}
+				}
+			}
+
+		case *ast.SendStmt:
+			if ct := s.b.typeOf(n.Chan); ct != nil {
+				if c, ok := ct.Underlying().(*types.Chan); ok && s.b.isBox(c.Elem(), n.Value) {
+					s.b.addAllocSite(raw, n.Value.Pos(), "interface boxing",
+						"channel send boxes "+typeDesc(s.b.typeOf(n.Value))+" into interface")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// visitLit handles a function literal: allocate its rawFunc, record the
+// closure-capture allocation in the enclosing function, register it in the
+// signature pool, and walk its body under the shared scope.
+func (s *fnScope) visitLit(raw *rawFunc, lit *ast.FuncLit) {
+	id := s.b.litID(raw.f.ID, lit)
+	litRaw, exists := s.b.raws[id]
+	if !exists {
+		litRaw = s.b.newRaw(id, s.paramRaw)
+		litRaw.f.ExemptHotalloc = raw.f.ExemptHotalloc
+		litRaw.f.ExemptWalltime = raw.f.ExemptWalltime
+	}
+	var litSig *types.Signature
+	if t := s.b.typeOf(lit); t != nil {
+		litSig, _ = t.Underlying().(*types.Signature)
+	}
+	if litSig != nil {
+		s.b.addSigFunc(sigStr(litSig), id)
+	}
+	if capturesVariables(s.b.pass.TypesInfo, lit) {
+		s.b.addAllocSite(raw, lit.Pos(), "closure capture", "func literal captures variables")
+	}
+	s.walk(litRaw, litSig, lit.Body)
+}
+
+// visitSelector records wall-clock reads (time.Now and friends) and
+// method-value closures (x.M used as a value).
+func (s *fnScope) visitSelector(raw *rawFunc, sel *ast.SelectorExpr) {
+	if path, obj, ok := lintutil.PkgQualified(s.b.pass.TypesInfo, sel); ok {
+		if path == "time" && lintutil.WallClockFuncs[obj.Name()] {
+			if _, isType := obj.(*types.TypeName); !isType {
+				s.b.addWallSite(raw, sel.Pos(), "time."+obj.Name())
+			}
+		}
+		return
+	}
+	if s.b.callFuns[ast.Expr(sel)] {
+		return
+	}
+	si := s.b.pass.TypesInfo.Selections[sel]
+	if si == nil {
+		return
+	}
+	fn, ok := si.Obj().(*types.Func)
+	if !ok {
+		return
+	}
+	switch si.Kind() {
+	case types.MethodVal:
+		// x.M as a value: allocates a bound-method closure.
+		s.b.addAllocSite(raw, sel.Pos(), "method value", "bound method value "+sel.Sel.Name)
+		s.b.addSigFunc(sigStr(si.Type().(*types.Signature)), FuncIDOf(fn))
+	case types.MethodExpr:
+		// T.M as a value: a static func, no allocation.
+		s.b.addSigFunc(sigStr(si.Type().(*types.Signature)), FuncIDOf(fn))
+	}
+}
+
+// call classifies one call expression: builtin, conversion, static callee,
+// interface dispatch, or dynamic func value.
+func (s *fnScope) call(raw *rawFunc, callExpr *ast.CallExpr) {
+	fun := unparen(callExpr.Fun)
+
+	// Conversions: T(x).
+	if tv, ok := s.b.pass.TypesInfo.Types[callExpr.Fun]; ok && tv.IsType() {
+		s.convSites(raw, tv.Type, callExpr)
+		return
+	}
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if bi, isB := s.b.pass.TypesInfo.Uses[id].(*types.Builtin); isB {
+			switch bi.Name() {
+			case "make":
+				s.b.addAllocSite(raw, callExpr.Pos(), "make", exprDesc(callExpr))
+			case "new":
+				s.b.addAllocSite(raw, callExpr.Pos(), "new", exprDesc(callExpr))
+			case "append":
+				s.b.addAllocSite(raw, callExpr.Pos(), "growing append", exprDesc(callExpr))
+			}
+			return
+		}
+	}
+
+	// Calls inside panic(...) arguments are on a terminating path: no
+	// edges (their sites are already exempt in addAllocSite/addWallSite).
+	if s.b.inPanic(callExpr.Pos()) {
+		return
+	}
+
+	noHot := s.b.pass.SuppressedBy(callExpr.Pos(), "hotalloc")
+	noWall := s.b.pass.SuppressedBy(callExpr.Pos(), "walltime")
+	pos := s.b.posOf(callExpr.Pos())
+
+	// Static callee?
+	var callee *types.Func
+	var recvExpr ast.Expr
+	argStart := 0
+	switch f := fun.(type) {
+	case *ast.Ident:
+		callee, _ = s.b.pass.TypesInfo.Uses[f].(*types.Func)
+	case *ast.IndexExpr:
+		// Generic instantiation f[T](...).
+		if id, ok := unparen(f.X).(*ast.Ident); ok {
+			callee, _ = s.b.pass.TypesInfo.Uses[id].(*types.Func)
+		}
+	case *ast.IndexListExpr:
+		if id, ok := unparen(f.X).(*ast.Ident); ok {
+			callee, _ = s.b.pass.TypesInfo.Uses[id].(*types.Func)
+		}
+	case *ast.SelectorExpr:
+		if si := s.b.pass.TypesInfo.Selections[f]; si != nil {
+			if fn, ok := si.Obj().(*types.Func); ok {
+				switch si.Kind() {
+				case types.MethodVal:
+					if _, isIface := si.Recv().Underlying().(*types.Interface); isIface {
+						s.ifaceCall(raw, f, si, pos, noHot, noWall)
+						s.argBoxes(raw, fn.Type().(*types.Signature), callExpr)
+						return
+					}
+					callee = fn
+					recvExpr = f.X
+				case types.MethodExpr:
+					// T.M(recv, args...): args[0] is the receiver.
+					callee = fn
+					if len(callExpr.Args) > 0 {
+						recvExpr = callExpr.Args[0]
+						argStart = 1
+					}
+				}
+			}
+		} else if fn, ok := s.b.pass.TypesInfo.Uses[f.Sel].(*types.Func); ok {
+			// Package-qualified function.
+			if p := fn.Pkg(); p != nil && p.Path() == "time" && lintutil.WallClockFuncs[fn.Name()] {
+				return // recorded as a wall site by visitSelector
+			}
+			callee = fn
+		}
+	case *ast.FuncLit:
+		// Immediately-invoked literal: a static edge to the literal.
+		litID := s.b.litID(raw.f.ID, f)
+		s.b.addEdge(raw, Edge{Callee: litID, Pos: pos, NoHotalloc: noHot, NoWalltime: noWall})
+		return
+	}
+
+	if callee != nil {
+		s.staticCall(raw, callee, recvExpr, argStart, callExpr, pos, noHot, noWall)
+		return
+	}
+
+	// Dynamic call through a func value: resolved after the walk.
+	ft := s.b.typeOf(fun)
+	if isFuncType(ft) {
+		if fsig, ok := ft.Underlying().(*types.Signature); ok {
+			s.argBoxes(raw, fsig, callExpr)
+		}
+		raw.dyns = append(raw.dyns, dynCall{
+			bind: s.bindingOf(raw, fun), pos: pos, noHot: noHot, noWall: noWall,
+		})
+	}
+}
+
+// convSites records allocation sites for allocating conversions: boxing
+// into an interface and string<->[]byte/[]rune copies.
+func (s *fnScope) convSites(raw *rawFunc, dst types.Type, callExpr *ast.CallExpr) {
+	if len(callExpr.Args) != 1 {
+		return
+	}
+	arg := callExpr.Args[0]
+	if s.b.isBox(dst, arg) {
+		s.b.addAllocSite(raw, callExpr.Pos(), "interface boxing",
+			"conversion boxes "+typeDesc(s.b.typeOf(arg))+" into interface")
+		return
+	}
+	srcT := s.b.typeOf(arg)
+	if srcT == nil {
+		return
+	}
+	if tv, ok := s.b.pass.TypesInfo.Types[arg]; ok && tv.Value != nil {
+		return // constant conversions are materialized statically
+	}
+	if isStringType(dst) && isByteOrRuneSlice(srcT) ||
+		isByteOrRuneSlice(dst) && isStringType(srcT) {
+		s.b.addAllocSite(raw, callExpr.Pos(), "string conversion", exprDesc(callExpr))
+	}
+}
+
+// ifaceCall records a dynamic interface-dispatch edge, resolved by CHA
+// method-set matching at walk time.
+func (s *fnScope) ifaceCall(raw *rawFunc, sel *ast.SelectorExpr, si *types.Selection, pos string, noHot, noWall bool) {
+	iface := si.Recv().Underlying().(*types.Interface)
+	s.b.addEdge(raw, Edge{
+		Method:       sel.Sel.Name,
+		Iface:        types.TypeString(si.Recv(), pathQual),
+		IfaceMethods: ifaceMethodSet(iface),
+		Pos:          pos,
+		NoHotalloc:   noHot,
+		NoWalltime:   noWall,
+	})
+}
+
+// staticCall records the edge to a known callee and captures argument
+// bindings for the callback fixpoint.
+func (s *fnScope) staticCall(raw *rawFunc, callee *types.Func, recvExpr ast.Expr, argStart int, callExpr *ast.CallExpr, pos string, noHot, noWall bool) {
+	id := FuncIDOf(callee)
+	s.b.addEdge(raw, Edge{Callee: id, Pos: pos, NoHotalloc: noHot, NoWalltime: noWall})
+
+	sig, _ := callee.Type().(*types.Signature)
+	if sig != nil {
+		s.argBoxes(raw, sig, callExpr)
+	}
+
+	rc := rawCall{callee: id, pos: pos, noHot: noHot, noWall: noWall}
+	if recvExpr != nil {
+		rc.recv = s.bindingOf(raw, recvExpr)
+	}
+	for _, a := range callExpr.Args[argStart:] {
+		if couldCarryFunc(s.b.typeOf(a)) {
+			rc.args = append(rc.args, s.bindingOf(raw, a))
+		} else {
+			rc.args = append(rc.args, nil)
+		}
+	}
+	raw.calls = append(raw.calls, rc)
+}
+
+// argBoxes records interface-boxing sites for call arguments passed to
+// interface-typed parameters (including variadic ...any tails, which is
+// how fmt-style calls allocate).
+func (s *fnScope) argBoxes(raw *rawFunc, sig *types.Signature, callExpr *ast.CallExpr) {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return
+	}
+	for i, a := range callExpr.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if callExpr.Ellipsis.IsValid() {
+				return // f(xs...): the slice is passed through, nothing boxes
+			}
+			st, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				return
+			}
+			pt = st.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			return
+		}
+		if s.b.isBox(pt, a) {
+			s.b.addAllocSite(raw, a.Pos(), "interface boxing",
+				"argument boxes "+typeDesc(s.b.typeOf(a))+" into interface parameter")
+		}
+	}
+}
+
+// capturesVariables reports whether lit references any variable declared
+// outside its own body (forcing a heap-allocated closure).
+func capturesVariables(info *types.Info, lit *ast.FuncLit) bool {
+	inside := map[types.Object]bool{}
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				inside[obj] = true
+			}
+		}
+		return true
+	})
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || inside[v] || v.Pkg() == nil {
+			return true
+		}
+		if v.Parent() != nil && v.Parent() == v.Pkg().Scope() {
+			return true // package-level var: not a capture
+		}
+		captured = true
+		return false
+	})
+	return captured
+}
+
+// couldCarryFunc reports whether a value of type t could hold func values
+// worth binding at a call site: a func itself, or a struct (or pointer to
+// struct) with a func-typed field within two levels.
+func couldCarryFunc(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if isFuncType(t) {
+		return true
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if isFuncType(ft) {
+			return true
+		}
+		if inner, ok := ft.Underlying().(*types.Struct); ok {
+			for j := 0; j < inner.NumFields(); j++ {
+				if isFuncType(inner.Field(j).Type()) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func typeDesc(t types.Type) string {
+	if t == nil {
+		return "?"
+	}
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+func exprDesc(e ast.Expr) string {
+	s := types.ExprString(e)
+	if len(s) > 48 {
+		s = s[:45] + "..."
+	}
+	return s
+}

@@ -38,19 +38,10 @@ var allowedRand = map[string]bool{
 	"NewChaCha8": true, // math/rand/v2
 }
 
-// nondetTime are the time package names that read the wall clock or start
-// wall-clock timers.
-var nondetTime = map[string]bool{
-	"Now":       true,
-	"Since":     true,
-	"Until":     true,
-	"After":     true,
-	"AfterFunc": true,
-	"Tick":      true,
-	"NewTicker": true,
-	"NewTimer":  true,
-	"Sleep":     true,
-}
+// nondetTime aliases the shared wall-clock table (lintutil.WallClockFuncs)
+// so detrand and the interprocedural walltime analyzer agree on what
+// constitutes a wall-clock read.
+var nondetTime = lintutil.WallClockFuncs
 
 func run(pass *framework.Pass) error {
 	if !lintutil.IsDeterministic(pass.Pkg.Path()) {

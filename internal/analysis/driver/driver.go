@@ -1,0 +1,345 @@
+// Package driver runs the dslint analyzer suite over a package graph,
+// in parallel, with a content-addressed warm cache.
+//
+// One `go list -export -deps` invocation yields the module's package graph
+// plus compiler export data. Every in-module package becomes an action
+// whose hash covers everything that can change its analysis result: the
+// driver version, the Go toolchain, the analyzer registry (names and
+// docs), the package's own source bytes, and — recursively — the action
+// hashes of its in-module dependencies. A package whose action hash
+// matches its cache entry is not re-analyzed: its diagnostics and its
+// exported facts are restored from the entry, so downstream packages can
+// still import the facts. A warm `make lint` therefore re-analyzes nothing
+// and prints byte-identical output.
+//
+// Packages type-check independently (each against export data, with its
+// own FileSet), so analysis parallelizes across the import DAG: a package
+// is scheduled as soon as its in-module dependencies have completed —
+// facts are the only cross-package data flow. Within one package the
+// analyzers run strictly in registry order (callgraph before its
+// consumers, staleignore last); the unit of caching is that whole-registry
+// run, which preserves the ordering semantics on warm runs.
+package driver
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"southwell/internal/analysis/framework"
+)
+
+// version invalidates every cache entry when the driver's own hashing or
+// entry format changes.
+const version = "dslint-driver-1"
+
+// Options configures one driver run.
+type Options struct {
+	// Dir is the directory go list runs in (the module root).
+	Dir string
+	// Patterns are the package patterns to lint (default ./...).
+	Patterns []string
+	// Analyzers run in order on every package.
+	Analyzers []*framework.Analyzer
+	// CacheDir holds warm-cache entries; empty disables caching.
+	CacheDir string
+	// Parallel caps concurrent package analyses (0 = GOMAXPROCS).
+	Parallel int
+}
+
+// Stats counts what one run did, for `dslint -stats` and the CI
+// warm-cache assertion.
+type Stats struct {
+	Packages int // in-module packages in the action graph
+	Analyzed int // cache misses: packages actually analyzed
+	Restored int // warm hits: diagnostics and facts restored
+}
+
+// Result is a completed run: deduplicated diagnostics of the requested
+// (non-dependency-only) packages in canonical order, plus run stats.
+type Result struct {
+	Diagnostics []framework.Diagnostic
+	Stats       Stats
+}
+
+// node is one package action in the graph.
+type node struct {
+	lp         *framework.ListedPkg
+	hash       string
+	target     bool
+	waits      int
+	dependents []*node
+	diags      []framework.Diagnostic
+}
+
+// cacheEntry is the persisted result of one package action.
+type cacheEntry struct {
+	ActionHash string
+	Diags      []framework.Diagnostic
+	Facts      map[string][]byte // analyzer name -> gob-encoded package fact
+}
+
+// Run executes the analyzer suite over the patterns.
+func Run(opts Options) (*Result, error) {
+	if len(opts.Patterns) == 0 {
+		opts.Patterns = []string{"./..."}
+	}
+	listed, err := framework.ListExportGraph(opts.Dir, opts.Patterns...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build the in-module action graph. `go list -deps` emits dependencies
+	// before dependents, so a single pass computes action hashes bottom-up.
+	nodes := map[string]*node{}
+	var order []*node
+	for _, lp := range listed {
+		if lp.Error != nil && !lp.DepOnly {
+			// A requested pattern failed to load (bogus path, parse error
+			// caught by go list): always an error, module or not.
+			return nil, fmt.Errorf("loading %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Standard || lp.Module == nil {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("loading %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		n := &node{lp: lp, target: !lp.DepOnly}
+		h, err := actionHash(lp, opts.Analyzers, nodes)
+		if err != nil {
+			return nil, err
+		}
+		n.hash = h
+		nodes[lp.ImportPath] = n
+		order = append(order, n)
+	}
+	for _, n := range order {
+		for _, imp := range n.lp.Imports {
+			if dep, ok := nodes[imp]; ok {
+				n.waits++
+				dep.dependents = append(dep.dependents, n)
+			}
+		}
+	}
+
+	table := framework.NewExportTable(listed)
+	facts := framework.NewFactStore()
+	res := &Result{Stats: Stats{Packages: len(order)}}
+
+	par := opts.Parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(order) && len(order) > 0 {
+		par = len(order)
+	}
+
+	var (
+		mu        sync.Mutex
+		firstErr  error
+		remaining = len(order)
+	)
+	readyC := make(chan *node, len(order))
+	for _, n := range order {
+		if n.waits == 0 {
+			readyC <- n
+		}
+	}
+	if remaining == 0 {
+		close(readyC)
+	}
+	complete := func(n *node) {
+		mu.Lock()
+		defer mu.Unlock()
+		remaining--
+		for _, d := range n.dependents {
+			d.waits--
+			if d.waits == 0 {
+				readyC <- d
+			}
+		}
+		if remaining == 0 {
+			close(readyC)
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(par)
+	for i := 0; i < par; i++ {
+		go func() {
+			defer wg.Done()
+			for n := range readyC {
+				mu.Lock()
+				skip := firstErr != nil
+				mu.Unlock()
+				if !skip {
+					restored, err := analyze(n, opts, table, facts)
+					mu.Lock()
+					switch {
+					case err != nil && firstErr == nil:
+						firstErr = err
+					case err == nil && restored:
+						res.Stats.Restored++
+					case err == nil:
+						res.Stats.Analyzed++
+					}
+					mu.Unlock()
+				}
+				complete(n)
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Deterministic output: gather target diagnostics, drop duplicates
+	// (the same finding can be attributed identically from two runs or
+	// two roots), and sort canonically.
+	seen := map[string]bool{}
+	for _, n := range order {
+		if !n.target {
+			continue
+		}
+		for _, d := range n.diags {
+			key := d.String()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			res.Diagnostics = append(res.Diagnostics, d)
+		}
+	}
+	framework.SortDiagnostics(res.Diagnostics)
+	return res, nil
+}
+
+// analyze runs one package action: restore from the warm cache when the
+// action hash matches, otherwise parse, type-check, run every analyzer in
+// order, and persist the entry. Returns whether the cache was hit.
+func analyze(n *node, opts Options, table framework.ExportTable, facts *framework.FactStore) (bool, error) {
+	path := n.lp.ImportPath
+	if entry := readCache(opts.CacheDir, path); entry != nil && entry.ActionHash == n.hash {
+		for name, data := range entry.Facts {
+			facts.SetEncoded(path, name, data)
+		}
+		n.diags = entry.Diags
+		return true, nil
+	}
+
+	fset := token.NewFileSet()
+	pkg, err := framework.ParsePackage(n.lp, fset, table.NewImporter(fset))
+	if err != nil {
+		return false, err
+	}
+	for _, a := range opts.Analyzers {
+		diags, err := framework.RunWithFacts(a, pkg, facts)
+		if err != nil {
+			return false, err
+		}
+		n.diags = append(n.diags, diags...)
+	}
+
+	entry := &cacheEntry{ActionHash: n.hash, Diags: n.diags, Facts: map[string][]byte{}}
+	for _, a := range opts.Analyzers {
+		if data := facts.Encoded(path, a.Name); data != nil {
+			entry.Facts[a.Name] = data
+		}
+	}
+	writeCache(opts.CacheDir, path, entry)
+	return false, nil
+}
+
+// actionHash fingerprints everything that can change a package's analysis
+// result. nodes must already contain the package's in-module dependencies
+// (go list -deps order guarantees it).
+func actionHash(lp *framework.ListedPkg, analyzers []*framework.Analyzer, nodes map[string]*node) (string, error) {
+	h := sha256.New()
+	fmt.Fprintln(h, version)
+	fmt.Fprintln(h, runtime.Version())
+	for _, a := range analyzers {
+		fmt.Fprintln(h, a.Name, a.Doc)
+	}
+	fmt.Fprintln(h, lp.ImportPath)
+	names := append([]string(nil), lp.GoFiles...)
+	sort.Strings(names)
+	for _, name := range names {
+		src, err := os.ReadFile(filepath.Join(lp.Dir, name))
+		if err != nil {
+			return "", fmt.Errorf("hashing %s: %w", lp.ImportPath, err)
+		}
+		fmt.Fprintln(h, name, len(src))
+		h.Write(src)
+	}
+	imps := append([]string(nil), lp.Imports...)
+	sort.Strings(imps)
+	for _, imp := range imps {
+		if dep, ok := nodes[imp]; ok {
+			fmt.Fprintln(h, imp, dep.hash)
+		} else {
+			fmt.Fprintln(h, imp) // out-of-module: covered by the Go version
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// cacheFile maps an import path to its (single) cache entry file.
+func cacheFile(cacheDir, importPath string) string {
+	sum := sha256.Sum256([]byte(importPath))
+	base := strings.ReplaceAll(filepath.Base(importPath), string(filepath.Separator), "_")
+	return filepath.Join(cacheDir, base+"-"+hex.EncodeToString(sum[:8])+".gob")
+}
+
+// readCache loads a package's cache entry; any failure is a miss.
+func readCache(cacheDir, importPath string) *cacheEntry {
+	if cacheDir == "" {
+		return nil
+	}
+	data, err := os.ReadFile(cacheFile(cacheDir, importPath))
+	if err != nil {
+		return nil
+	}
+	var e cacheEntry
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&e); err != nil {
+		return nil
+	}
+	return &e
+}
+
+// writeCache persists a package's entry (best-effort: a failed write only
+// costs the next run a re-analysis). The temp-file rename keeps concurrent
+// writers from exposing torn entries.
+func writeCache(cacheDir, importPath string, e *cacheEntry) {
+	if cacheDir == "" {
+		return
+	}
+	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		return
+	}
+	dst := cacheFile(cacheDir, importPath)
+	tmp, err := os.CreateTemp(cacheDir, "tmp-*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(buf.Bytes()); err == nil && tmp.Close() == nil {
+		os.Rename(tmp.Name(), dst)
+	} else {
+		tmp.Close()
+		os.Remove(tmp.Name())
+	}
+}

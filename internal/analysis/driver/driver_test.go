@@ -1,0 +1,151 @@
+package driver_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"southwell/internal/analysis/driver"
+	"southwell/internal/analysis/framework"
+	"southwell/internal/analysis/registry"
+)
+
+// writeModule lays out a throwaway two-package module with deliberate
+// findings in both packages: hotalloc hot paths (one transitive across the
+// package boundary, exercising fact restoration from the warm cache), a
+// floatcmp violation, and a stale directive.
+func writeModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		p := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module m\n\ngo 1.22\n")
+	write("a/a.go", `package a
+
+//dslint:hotpath
+func Hot(n int) []int {
+	return make([]int, n)
+}
+
+func eq(x, y float64) bool {
+	return x == y
+}
+
+func plain(x int) int {
+	y := x + 1 //dslint:ignore hotalloc stale: nothing on this line allocates
+	return y
+}
+`)
+	write("b/b.go", `package b
+
+import "m/a"
+
+//dslint:hotpath
+func Use(n int) []int {
+	return a.Hot(n)
+}
+`)
+	return root
+}
+
+func render(diags []framework.Diagnostic) string {
+	var sb strings.Builder
+	for _, d := range diags {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func runOn(t *testing.T, dir, cacheDir string) *driver.Result {
+	t.Helper()
+	res, err := driver.Run(driver.Options{
+		Dir:       dir,
+		Analyzers: registry.Analyzers(),
+		CacheDir:  cacheDir,
+	})
+	if err != nil {
+		t.Fatalf("driver.Run: %v", err)
+	}
+	return res
+}
+
+// TestWarmCache pins the driver contract: a cold run analyzes everything,
+// a warm run analyzes nothing and reproduces the diagnostics byte for
+// byte, and an edit re-analyzes exactly the changed package plus its
+// dependents (the action hash is recursive over in-module deps).
+func TestWarmCache(t *testing.T) {
+	root := writeModule(t)
+	cache := filepath.Join(root, ".dslintcache")
+
+	cold := runOn(t, root, cache)
+	if cold.Stats.Packages != 2 || cold.Stats.Analyzed != 2 || cold.Stats.Restored != 0 {
+		t.Fatalf("cold stats = %+v, want 2 packages all analyzed", cold.Stats)
+	}
+	out := render(cold.Diagnostics)
+	for _, want := range []string{"hotalloc", "floatcmp", "stale //dslint:ignore hotalloc", "m/b.Use", "m/a.Hot"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cold output missing %q:\n%s", want, out)
+		}
+	}
+
+	warm := runOn(t, root, cache)
+	if warm.Stats.Analyzed != 0 || warm.Stats.Restored != 2 {
+		t.Fatalf("warm stats = %+v, want everything restored", warm.Stats)
+	}
+	if got := render(warm.Diagnostics); got != out {
+		t.Errorf("warm output differs from cold:\ncold:\n%s\nwarm:\n%s", out, got)
+	}
+
+	// Touching a's source invalidates a AND b (dep hash is recursive).
+	aPath := filepath.Join(root, "a", "a.go")
+	src, err := os.ReadFile(aPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(aPath, append(src, []byte("\n// touched\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	edited := runOn(t, root, cache)
+	if edited.Stats.Analyzed != 2 {
+		t.Fatalf("after editing a dependency, stats = %+v, want both packages re-analyzed", edited.Stats)
+	}
+
+	// Touching only b leaves a warm.
+	bPath := filepath.Join(root, "b", "b.go")
+	src, err = os.ReadFile(bPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bPath, append(src, []byte("\n// touched\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	leaf := runOn(t, root, cache)
+	if leaf.Stats.Analyzed != 1 || leaf.Stats.Restored != 1 {
+		t.Fatalf("after editing a leaf, stats = %+v, want 1 analyzed 1 restored", leaf.Stats)
+	}
+}
+
+// TestDeterministicOutput runs the driver twice with no cache at all: the
+// rendered diagnostics must be byte-identical (dedup + canonical sort, no
+// map-order or scheduling-order leakage).
+func TestDeterministicOutput(t *testing.T) {
+	root := writeModule(t)
+	first := render(runOn(t, root, "").Diagnostics)
+	second := render(runOn(t, root, "").Diagnostics)
+	if first == "" {
+		t.Fatal("expected findings from the fixture module")
+	}
+	if first != second {
+		t.Errorf("two uncached runs differ:\nfirst:\n%s\nsecond:\n%s", first, second)
+	}
+}

@@ -1,0 +1,104 @@
+package framework
+
+// Package-level Facts: the interprocedural side-channel of the analysis
+// framework, modeled on golang.org/x/tools/go/analysis facts. An analyzer
+// running on package P may export one fact value summarizing P (for dslint:
+// the callgraph analyzer's function summaries); analyzers running on
+// packages that import P — directly or transitively — import that fact and
+// reason across the package boundary without re-type-checking P.
+//
+// Facts are stored gob-encoded. Encoding at export time (rather than
+// holding live pointers) buys two properties at once: the cached driver can
+// persist facts next to a package's diagnostics and reload them on a warm
+// run without re-analysis, and every consumer decodes its own copy, so a
+// downstream analyzer can never mutate an upstream summary.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+)
+
+// FactStore holds the gob-encoded package facts of one analysis session,
+// keyed by (package path, analyzer name). It is safe for concurrent use:
+// the parallel driver analyzes independent packages simultaneously, but the
+// import DAG guarantees a package's dependencies were fully analyzed (and
+// their facts stored) before the package itself is scheduled.
+type FactStore struct {
+	mu sync.RWMutex
+	m  map[factKey][]byte
+}
+
+type factKey struct {
+	pkg      string
+	analyzer string
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: make(map[factKey][]byte)}
+}
+
+// set stores pre-encoded fact bytes (the cached driver restores facts this
+// way on a warm hit).
+func (s *FactStore) set(pkg, analyzer string, data []byte) {
+	s.mu.Lock()
+	s.m[factKey{pkg, analyzer}] = data
+	s.mu.Unlock()
+}
+
+// get returns the encoded fact bytes, or nil.
+func (s *FactStore) get(pkg, analyzer string) []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m[factKey{pkg, analyzer}]
+}
+
+// SetEncoded stores already-encoded fact bytes for (pkg, analyzer); the
+// driver uses it to restore facts from the warm cache.
+func (s *FactStore) SetEncoded(pkg, analyzer string, data []byte) {
+	s.set(pkg, analyzer, data)
+}
+
+// Encoded returns the encoded fact bytes for (pkg, analyzer), or nil; the
+// driver uses it to persist facts into the cache.
+func (s *FactStore) Encoded(pkg, analyzer string) []byte {
+	return s.get(pkg, analyzer)
+}
+
+// ExportPackageFact records fact as the pass's analyzer's summary of the
+// package under analysis. At most one fact per (package, analyzer); a
+// second export overwrites the first. The fact value must be gob-encodable
+// (exported fields only).
+func (p *Pass) ExportPackageFact(fact any) error {
+	if p.Facts == nil {
+		return fmt.Errorf("%s: ExportPackageFact: pass has no fact store", p.Analyzer.Name)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(fact); err != nil {
+		return fmt.Errorf("%s: encoding package fact for %s: %w", p.Analyzer.Name, p.Pkg.Path(), err)
+	}
+	p.Facts.set(p.Pkg.Path(), p.Analyzer.Name, buf.Bytes())
+	return nil
+}
+
+// ImportPackageFact decodes the named analyzer's fact about pkgPath into
+// out (a pointer to the fact type) and reports whether such a fact exists.
+// Passing the pass's own package path retrieves facts exported by analyzers
+// that ran earlier on the same package (registry order), which is how
+// hotalloc and walltime read the callgraph summary of the package under
+// analysis itself.
+func (p *Pass) ImportPackageFact(pkgPath, analyzer string, out any) (bool, error) {
+	if p.Facts == nil {
+		return false, nil
+	}
+	data := p.Facts.get(pkgPath, analyzer)
+	if data == nil {
+		return false, nil
+	}
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(out); err != nil {
+		return false, fmt.Errorf("%s: decoding %s fact of %s: %w", p.Analyzer.Name, analyzer, pkgPath, err)
+	}
+	return true, nil
+}

@@ -1,0 +1,93 @@
+package framework
+
+// SuggestedFix support: a diagnostic may carry machine-applicable edits
+// (dslint -fix). Edits address files by byte offset rather than token.Pos
+// so a fix survives serialization into the driver's warm cache and can be
+// applied in a later process that never parsed the file.
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// TextEdit replaces the bytes [Start, End) of File with New. Offsets are
+// 0-based byte offsets into the file as it was when analyzed.
+type TextEdit struct {
+	File  string
+	Start int
+	End   int
+	New   string
+}
+
+// SuggestedFix is one machine-applicable resolution of a diagnostic.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// ApplyFixes applies every suggested fix in diags to the files on disk and
+// returns the set of rewritten file names (sorted). Edits within a file are
+// applied in descending offset order so earlier offsets stay valid;
+// overlapping edits (the same source region fixed by two diagnostics, e.g.
+// a duplicated finding) are applied once and otherwise rejected. Files are
+// rewritten with their original permission bits.
+func ApplyFixes(diags []Diagnostic) ([]string, error) {
+	byFile := make(map[string][]TextEdit)
+	for _, d := range diags {
+		for _, f := range d.Fixes {
+			for _, e := range f.Edits {
+				byFile[e.File] = append(byFile[e.File], e)
+			}
+		}
+	}
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+
+	var changed []string
+	for _, file := range files {
+		edits := byFile[file]
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].Start != edits[j].Start {
+				return edits[i].Start > edits[j].Start
+			}
+			return edits[i].End > edits[j].End
+		})
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return changed, fmt.Errorf("applying fixes: %w", err)
+		}
+		info, err := os.Stat(file)
+		if err != nil {
+			return changed, fmt.Errorf("applying fixes: %w", err)
+		}
+		out := src
+		prevStart := len(src) + 1
+		touched := false
+		for i, e := range edits {
+			if i > 0 && e == edits[i-1] {
+				continue // identical edit from a duplicated diagnostic
+			}
+			if e.Start < 0 || e.End < e.Start || e.End > len(src) {
+				return changed, fmt.Errorf("applying fixes: edit [%d,%d) out of range for %s (%d bytes)", e.Start, e.End, file, len(src))
+			}
+			if e.End > prevStart {
+				return changed, fmt.Errorf("applying fixes: overlapping edits in %s at offset %d", file, e.Start)
+			}
+			out = append(out[:e.Start], append([]byte(e.New), out[e.End:]...)...)
+			prevStart = e.Start
+			touched = true
+		}
+		if !touched {
+			continue
+		}
+		if err := os.WriteFile(file, out, info.Mode().Perm()); err != nil {
+			return changed, fmt.Errorf("applying fixes: %w", err)
+		}
+		changed = append(changed, file)
+	}
+	return changed, nil
+}

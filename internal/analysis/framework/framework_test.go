@@ -88,7 +88,9 @@ func TestLoadAndRun(t *testing.T) {
 
 	// Suppression: mark every diagnostic line ignored and re-run.
 	for _, d := range diags {
-		pkg.ignores[ignoreKey{d.Pos.Filename, d.Pos.Line, "probe"}] = true
+		pkg.ignores[ignoreKey{d.Pos.Filename, d.Pos.Line, "probe"}] = &Directive{
+			File: d.Pos.Filename, Target: d.Pos.Line, Names: []string{"probe"},
+		}
 	}
 	diags, err = Run(probe, pkg)
 	if err != nil {

@@ -24,21 +24,26 @@ type Package struct {
 	Types *types.Package
 	Info  *types.Info
 
-	ignores map[ignoreKey]bool
+	ignores    map[ignoreKey]*Directive
+	directives []*Directive
 }
 
-// listedPkg is the subset of `go list -json` output the loader consumes.
-type listedPkg struct {
+// ListedPkg is the subset of `go list -json` output the loader and the
+// cached driver consume.
+type ListedPkg struct {
 	ImportPath string
 	Dir        string
 	Standard   bool
 	Export     string
 	GoFiles    []string
+	Imports    []string
+	DepOnly    bool
+	Module     *struct{ Path string }
 	Error      *struct{ Err string }
 }
 
 // goList runs `go list -e -json <args>` in dir and decodes the JSON stream.
-func goList(dir string, args ...string) ([]*listedPkg, error) {
+func goList(dir string, args ...string) ([]*ListedPkg, error) {
 	cmd := exec.Command("go", append([]string{"list", "-e", "-json"}, args...)...)
 	cmd.Dir = dir
 	var stderr bytes.Buffer
@@ -48,9 +53,9 @@ func goList(dir string, args ...string) ([]*listedPkg, error) {
 		return nil, fmt.Errorf("go list %v: %v\n%s", args, err, stderr.String())
 	}
 	dec := json.NewDecoder(bytes.NewReader(out))
-	var pkgs []*listedPkg
+	var pkgs []*ListedPkg
 	for {
-		p := new(listedPkg)
+		p := new(ListedPkg)
 		if err := dec.Decode(p); err == io.EOF {
 			break
 		} else if err != nil {
@@ -59,6 +64,28 @@ func goList(dir string, args ...string) ([]*listedPkg, error) {
 		pkgs = append(pkgs, p)
 	}
 	return pkgs, nil
+}
+
+// ListExportGraph runs one `go list -e -json -export -deps` over the
+// patterns (resolved relative to dir) and returns every listed package:
+// the pattern matches themselves (DepOnly false) plus their full
+// dependency closure with compiler export-data files. The cached driver
+// builds its action graph — and its export table — from this single
+// invocation.
+func ListExportGraph(dir string, patterns ...string) ([]*ListedPkg, error) {
+	return goList(dir, append([]string{"-export", "-deps"}, patterns...)...)
+}
+
+// ParsePackage parses one listed package's sources (with comments) and
+// type-checks it against the importer, returning an analysis-ready
+// Package. The FileSet must be fresh per package when packages are checked
+// concurrently.
+func ParsePackage(lp *ListedPkg, fset *token.FileSet, imp types.Importer) (*Package, error) {
+	files, srcs, err := parseFiles(fset, lp.Dir, lp.GoFiles)
+	if err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", lp.ImportPath, err)
+	}
+	return CheckFiles(lp.ImportPath, fset, files, srcs, imp)
 }
 
 // ExportTable maps import paths to compiler export-data files, as produced
@@ -74,13 +101,19 @@ func LoadExportTable(dir string, patterns ...string) (ExportTable, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NewExportTable(listed), nil
+}
+
+// NewExportTable builds the export table from an already-listed package
+// graph (see ListExportGraph), avoiding a second `go list` run.
+func NewExportTable(listed []*ListedPkg) ExportTable {
 	t := make(ExportTable, len(listed))
 	for _, p := range listed {
 		if p.Export != "" {
 			t[p.ImportPath] = p.Export
 		}
 	}
-	return t, nil
+	return t
 }
 
 // NewImporter returns a types.Importer that reads compiler export data

@@ -1,0 +1,150 @@
+// Package hotalloc proves //dslint:hotpath functions transitively
+// allocation-free, interprocedurally (DESIGN.md §12).
+//
+// The repo's zero-alloc guarantees on solver kernels and the phase engine
+// were previously enforced only dynamically, by allocs/op gates in the
+// benchmark harness (EXPERIMENTS.md). Those gates only cover the code the
+// benchmarks drive. hotalloc closes the gap statically: any function whose
+// doc comment carries //dslint:hotpath must not reach — through any call
+// chain the callgraph facts can see — a make, new, growing append, closure
+// capture, method value, interface boxing, string concatenation or
+// conversion, allocating composite literal, or go statement. Findings
+// include the offending call path.
+//
+// Escape hatches, all explicit in the source: a //dslint:ignore hotalloc
+// on an allocation line drops that site (justified capacity-reuse appends,
+// one-time lazy initialization); on a function declaration it exempts the
+// whole function (freelist refill paths); on a call line it severs that
+// edge. Allocations inside panic(...) arguments are exempt automatically —
+// a terminating path is not a hot path. Calls into packages outside the
+// analysis universe (the standard library) are reported unless the callee
+// is on a small allowlist of provably non-allocating routines.
+package hotalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"southwell/internal/analysis/callgraph"
+	"southwell/internal/analysis/framework"
+)
+
+// Analyzer is the hotalloc check.
+var Analyzer = &framework.Analyzer{
+	Name: "hotalloc",
+	Doc: "prove //dslint:hotpath functions transitively allocation-free using callgraph facts; " +
+		"reports each reachable allocation with its call path",
+	Run: run,
+}
+
+// allowedPkgPrefixes are external packages whose functions never allocate.
+var allowedPkgPrefixes = []string{
+	"math.", "math/bits.", "math/cmplx.", "sync/atomic.",
+}
+
+// allowedExact are individual external functions known not to allocate.
+var allowedExact = map[string]bool{
+	"runtime.GOMAXPROCS":  true,
+	"runtime.NumCPU":      true,
+	"runtime.Gosched":     true,
+	"sort.Search":         true,
+	"sort.SearchInts":     true,
+	"sort.SearchFloat64s": true,
+	"len":                 true, "cap": true,
+}
+
+// allowedExternal reports whether an out-of-universe callee is on the
+// non-allocating allowlist. Safe sync primitives are allowed; sync.Pool
+// and sync.Map are not (Pool.Get can call New, Map allocates internally).
+func allowedExternal(id string) bool {
+	for _, p := range allowedPkgPrefixes {
+		if strings.HasPrefix(id, p) {
+			return true
+		}
+	}
+	if allowedExact[id] {
+		return true
+	}
+	if strings.HasPrefix(id, "sync.(") &&
+		!strings.Contains(id, "Pool") && !strings.Contains(id, "Map") {
+		return true
+	}
+	return false
+}
+
+func run(pass *framework.Pass) error {
+	type root struct {
+		id  string
+		pos token.Pos
+	}
+	var roots []root
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || !callgraph.HotpathDecl(fd) {
+				continue
+			}
+			if id := callgraph.DeclID(pass, fd); id != "" {
+				roots = append(roots, root{id, fd.Pos()})
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].id < roots[j].id })
+
+	u, err := callgraph.NewUniverse(pass)
+	if err != nil {
+		return err
+	}
+
+	// Each distinct problem (allocation site, external callee, unresolved
+	// edge) is reported once, attributed to the first root that reaches it.
+	reported := map[string]bool{}
+	for _, r := range roots {
+		r := r
+		shortRoot := r.id[strings.LastIndexByte(r.id, '/')+1:]
+		u.Walk(r.id, callgraph.ModeHotalloc,
+			func(reach callgraph.Reached) {
+				for _, site := range reach.Fn.AllocSites {
+					key := "s|" + site.Pos + "|" + site.Kind + "|" + site.Desc
+					if reported[key] {
+						continue
+					}
+					reported[key] = true
+					pass.Reportf(r.pos,
+						"hot path %s may allocate: %s (%s) at %s; call path: %s",
+						shortRoot, site.Desc, site.Kind, site.Pos,
+						callgraph.FormatPath(reach.Path))
+				}
+			},
+			func(callee string, path []string) {
+				if allowedExternal(callee) {
+					return
+				}
+				key := "x|" + callee
+				if reported[key] {
+					return
+				}
+				reported[key] = true
+				pass.Reportf(r.pos,
+					"hot path %s calls external function %s (cannot prove allocation-free); call path: %s",
+					shortRoot, callee, callgraph.FormatPath(path))
+			},
+			func(desc string, path []string) {
+				key := "u|" + desc + "|" + fmt.Sprint(path)
+				if reported[key] {
+					return
+				}
+				reported[key] = true
+				pass.Reportf(r.pos,
+					"hot path %s has an unresolvable dynamic call (%s); call path: %s",
+					shortRoot, desc, callgraph.FormatPath(path))
+			})
+	}
+	return nil
+}

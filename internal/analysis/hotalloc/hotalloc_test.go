@@ -1,0 +1,21 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"southwell/internal/analysis/analysistest"
+	"southwell/internal/analysis/callgraph"
+	"southwell/internal/analysis/framework"
+	"southwell/internal/analysis/hotalloc"
+)
+
+// TestHotalloc exercises the positive suite (every allocation kind, the
+// transitive walk, CHA interface dispatch, callback-precise pool
+// resolution, external and unresolvable calls) and the negative suite
+// (clean kernels, the allowlist, panic exemption, direct-iface boxing, and
+// all three //dslint:ignore escape hatches).
+func TestHotalloc(t *testing.T) {
+	analysistest.RunSuite(t, analysistest.TestData(),
+		[]*framework.Analyzer{callgraph.Analyzer, hotalloc.Analyzer},
+		"hot/a", "hot/clean")
+}

@@ -1,0 +1,109 @@
+// Positive fixtures: every hotpath root here reaches an allocation (or an
+// unprovable call) and must be flagged. Findings anchor at the root's func
+// declaration, so the want comments sit on the decl lines.
+package a
+
+import (
+	"fmt"
+
+	"hot/pool"
+)
+
+type scratch struct {
+	buf []float64
+	mul pool.Task
+}
+
+//dslint:hotpath
+func MakeSlice(n int) { // want `hot path a\.MakeSlice may allocate: make\(\[\]float64, n\) \(make\)`
+	_ = make([]float64, n)
+}
+
+//dslint:hotpath
+func Transitive(n int) { // want `hot path a\.Transitive may allocate: .* \(growing append\) at a\.go:\d+; call path: hot/a\.Transitive \(a\.go:\d+\) -> hot/a\.helper`
+	helper(n)
+}
+
+func helper(n int) {
+	var s []int
+	s = append(s, n)
+	_ = s
+}
+
+//dslint:hotpath
+func Box(v float64) any { // want `hot path a\.Box may allocate: .* \(interface boxing\)`
+	return v
+}
+
+//dslint:hotpath
+func Concat(a, b string) string { // want `hot path a\.Concat may allocate: .* \(string concatenation\)`
+	return a + b
+}
+
+//dslint:hotpath
+func Spawn() { // want `hot path a\.Spawn may allocate: .* \(go statement\)`
+	go addOne(0, 0)
+}
+
+//dslint:hotpath
+func External() { // want `hot path a\.External calls external function fmt\.Sprintf \(cannot prove allocation-free\)`
+	_ = fmt.Sprintf("x")
+}
+
+//dslint:hotpath
+func Dyn(fs []func(string) string) { // want `hot path a\.Dyn has an unresolvable dynamic call`
+	fs[0]("")
+}
+
+// Op has exactly two implementations in the universe; the interface call
+// in Dispatch resolves to both by CHA, and Alloc.Apply allocates.
+type Op interface{ Apply(x int) int }
+
+type Neg struct{}
+
+func (Neg) Apply(x int) int { return -x }
+
+type Alloc struct{}
+
+func (Alloc) Apply(x int) int { return len(make([]int, x)) }
+
+//dslint:hotpath
+func Dispatch(o Op, x int) int { // want `hot path a\.Dispatch may allocate: make\(\[\]int, x\) \(make\) at a\.go:\d+; call path: hot/a\.Dispatch \(a\.go:\d+\) -> hot/a\.\(Alloc\)\.Apply`
+	return o.Apply(x)
+}
+
+// RunDirty binds an allocating closure to the task it hands the pool; the
+// ParamField summary on pool.Run routes the walk into that closure.
+//
+//dslint:hotpath
+func RunDirty(p *pool.Pool, n int) { // want `hot path a\.RunDirty may allocate: make\(\[\]int, hi\) \(make\)`
+	var t pool.Task
+	t.F = func(lo, hi int) { _ = make([]int, hi) }
+	p.Run(&t, n)
+}
+
+// RunClean binds a clean function to an identical task. The local field
+// tracking must resolve this bind precisely — NOT fall back to the global
+// pool of every func ever assigned to a pool.Task.F (which contains
+// RunDirty's allocating closure).
+//
+//dslint:hotpath
+func RunClean(p *pool.Pool, n int) {
+	var t pool.Task
+	t.F = addOne
+	p.Run(&t, n)
+}
+
+func addOne(lo, hi int) {}
+
+type counter struct {
+	n int
+}
+
+func (c *counter) inc() { c.n++ }
+
+//dslint:hotpath
+func MethodValue(c *counter) { // want `hot path a\.MethodValue may allocate: .* \(method value\)`
+	f := c.inc
+	f()
+}

@@ -1,0 +1,92 @@
+// Negative fixtures: hotpath roots that must produce no findings —
+// allocation-free kernels, allowlisted external calls, panic-path
+// exemption, direct-interface boxing, and every //dslint:ignore hotalloc
+// escape hatch (line-level site, function-level, edge severing).
+package clean
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+type scratch struct {
+	buf []float64
+}
+
+//dslint:hotpath
+func Norm2(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x * x
+	}
+	return math.Sqrt(s) // math.* is on the external allowlist
+}
+
+//dslint:hotpath
+func Count(c *int64, xs []float64) {
+	atomic.AddInt64(c, int64(len(xs))) // sync/atomic.* is allowlisted
+}
+
+//dslint:hotpath
+func Fill(dst []float64, v float64) float64 {
+	for i := range dst {
+		dst[i] = v
+	}
+	return total(dst) // in-universe helper, itself clean
+}
+
+func total(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+//dslint:hotpath
+func Guard(n int) int {
+	if n < 0 {
+		// Terminating path: the Sprintf call and the boxing of n inside
+		// panic(...) arguments are exempt.
+		panic(fmt.Sprintf("negative n %d", n))
+	}
+	return n
+}
+
+//dslint:hotpath
+func NoBox(s *scratch) any {
+	return s // pointers are direct-iface: no boxing allocation
+}
+
+//dslint:hotpath
+func LazyInit(s *scratch, n int) {
+	if s.buf == nil {
+		s.buf = make([]float64, n) //dslint:ignore hotalloc one-time lazy initialization, amortized
+	}
+	s.buf[0] = 1
+}
+
+// refill is exempt wholesale: freelist refill paths allocate by design and
+// are measured cold.
+//
+//dslint:ignore hotalloc freelist refill, measured cold
+func refill(n int) []int {
+	return make([]int, n)
+}
+
+//dslint:hotpath
+func UsesRefill(n int) int {
+	return len(refill(n))
+}
+
+//dslint:hotpath
+func Sever(n int) {
+	slowPath(n) //dslint:ignore hotalloc cold slow path, never taken per-iteration
+}
+
+func slowPath(n int) {
+	var s []int
+	s = append(s, n)
+	_ = s
+}

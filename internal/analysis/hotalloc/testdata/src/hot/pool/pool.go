@@ -1,0 +1,31 @@
+// Package pool is a miniature of internal/parallel: a Task carries a
+// caller-supplied range function, and Pool.Run dispatches it. It exists so
+// the hotalloc fixtures can exercise callback-precise resolution across a
+// package boundary (the ParamField summary on Run materializes edges at
+// each caller's bind site).
+package pool
+
+// Task carries a range callback, mirroring parallel.Task.
+type Task struct {
+	F func(lo, hi int)
+}
+
+// Pool dispatches tasks.
+type Pool struct {
+	n int
+}
+
+// New builds a pool. Not a hot path: the composite literal here must not
+// be reported (it is unreachable from any hotpath root).
+func New(n int) *Pool {
+	return &Pool{n: n}
+}
+
+// Run invokes t.F over n unit ranges. The dynamic call through the
+// parameter's field becomes a ParamField summary {0, "F"}, so each caller
+// of Run is checked against the function it actually bound.
+func (p *Pool) Run(t *Task, n int) {
+	for i := 0; i < n; i++ {
+		t.F(i, i+1)
+	}
+}

@@ -1,0 +1,223 @@
+// Package injection verifies each interprocedural analyzer against the
+// real repository code by fault injection: the module's packages are
+// loaded from source in dependency order, a synthetic violation is spliced
+// into a real package as an extra file, and the analyzer must catch it —
+// with the unmodified tree staying clean. This proves the analyzers run
+// end-to-end over the actual code they gate, not just over fixtures.
+package injection_test
+
+import (
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"southwell/internal/analysis/callgraph"
+	"southwell/internal/analysis/framework"
+	"southwell/internal/analysis/hotalloc"
+	"southwell/internal/analysis/registry"
+	"southwell/internal/analysis/walltime"
+)
+
+const moduleRoot = "../../.." // this package sits at internal/analysis/injection
+
+// injectedName is the synthetic file's name; tests filter findings to it
+// or to messages naming the injected functions.
+const injectedName = "zz_injected.go"
+
+// session holds the source-loaded module packages and their shared facts.
+type session struct {
+	pkgs  map[string]*framework.Package
+	order []string
+	facts *framework.FactStore
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// load lists patterns with their dependency closure, type-checks every
+// in-module package from source (appending inject[pkgPath] as an extra
+// file where present), and runs the callgraph analyzer over each in
+// dependency order so interprocedural facts are available to the analyzer
+// under test. In-module imports resolve against the live (possibly
+// injected) packages; everything else through compiler export data.
+func load(t *testing.T, inject map[string]string, patterns ...string) *session {
+	t.Helper()
+	listed, err := framework.ListExportGraph(moduleRoot, patterns...)
+	if err != nil {
+		t.Fatalf("listing %v: %v", patterns, err)
+	}
+	table := framework.NewExportTable(listed)
+	fset := token.NewFileSet()
+	s := &session{
+		pkgs:  map[string]*framework.Package{},
+		facts: framework.NewFactStore(),
+	}
+	std := table.NewImporter(fset)
+	imp := importerFunc(func(ip string) (*types.Package, error) {
+		if live, ok := s.pkgs[ip]; ok {
+			return live.Types, nil
+		}
+		return std.Import(ip)
+	})
+	// `go list -deps` emits dependencies before dependents, so in-module
+	// imports are always live by the time an importer needs them.
+	for _, lp := range listed {
+		if lp.Standard || lp.Error != nil || !strings.HasPrefix(lp.ImportPath, "southwell") {
+			continue
+		}
+		files, srcs, err := framework.ParseFixture(fset, lp.Dir, lp.GoFiles)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", lp.ImportPath, err)
+		}
+		if src, ok := inject[lp.ImportPath]; ok {
+			f, err := parser.ParseFile(fset, injectedName, src, parser.ParseComments)
+			if err != nil {
+				t.Fatalf("parsing injected file for %s: %v", lp.ImportPath, err)
+			}
+			files = append(files, f)
+			srcs[injectedName] = []byte(src)
+		}
+		pkg, err := framework.CheckFiles(lp.ImportPath, fset, files, srcs, imp)
+		if err != nil {
+			t.Fatalf("type-checking %s: %v", lp.ImportPath, err)
+		}
+		s.pkgs[lp.ImportPath] = pkg
+		s.order = append(s.order, lp.ImportPath)
+		if _, err := framework.RunWithFacts(callgraph.Analyzer, pkg, s.facts); err != nil {
+			t.Fatalf("callgraph on %s: %v", lp.ImportPath, err)
+		}
+	}
+	return s
+}
+
+// run executes one analyzer on an already-loaded package.
+func (s *session) run(t *testing.T, a *framework.Analyzer, pkgPath string) []framework.Diagnostic {
+	t.Helper()
+	pkg := s.pkgs[pkgPath]
+	if pkg == nil {
+		t.Fatalf("package %s was not loaded", pkgPath)
+	}
+	diags, err := framework.RunWithFacts(a, pkg, s.facts)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+	}
+	return diags
+}
+
+// matching filters diagnostics whose message contains substr.
+func matching(diags []framework.Diagnostic, substr string) []framework.Diagnostic {
+	var out []framework.Diagnostic
+	for _, d := range diags {
+		if strings.Contains(d.Message, substr) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// TestHotallocInjection splices a //dslint:hotpath function into the real
+// sparse package whose only sin is calling the real CSR.Diag (which
+// allocates its result). hotalloc must trace the allocation through the
+// genuine repository code and name the injected root; the unmodified
+// package must stay silent about it.
+func TestHotallocInjection(t *testing.T) {
+	const bad = `package sparse
+
+//dslint:hotpath
+func injectedHotPath(a *CSR) []float64 {
+	return a.Diag()
+}
+`
+	clean := load(t, nil, "./internal/sparse")
+	if got := matching(clean.run(t, hotalloc.Analyzer, "southwell/internal/sparse"), "injectedHotPath"); len(got) != 0 {
+		t.Fatalf("unmodified tree mentions the injected function: %v", got)
+	}
+
+	s := load(t, map[string]string{"southwell/internal/sparse": bad}, "./internal/sparse")
+	got := matching(s.run(t, hotalloc.Analyzer, "southwell/internal/sparse"), "injectedHotPath")
+	if len(got) == 0 {
+		t.Fatal("hotalloc missed the injected allocating hot path")
+	}
+	msg := got[0].Message
+	if !strings.Contains(msg, "may allocate") || !strings.Contains(msg, "Diag") {
+		t.Errorf("finding does not trace through CSR.Diag: %s", msg)
+	}
+}
+
+// TestWalltimeInjection adds a wall-clock read to the real (non-
+// deterministic) sparse package and a call to it from the deterministic
+// solvers package. walltime must flag the solvers entry point with the
+// cross-package path; the unmodified tree must stay silent.
+func TestWalltimeInjection(t *testing.T) {
+	const badSparse = `package sparse
+
+import "time"
+
+// InjectedStamp reads the wall clock outside detrand's jurisdiction.
+func InjectedStamp() int64 {
+	return time.Now().UnixNano()
+}
+`
+	const badSolvers = `package solvers
+
+import "southwell/internal/sparse"
+
+func injectedStep() int64 {
+	return sparse.InjectedStamp()
+}
+`
+	clean := load(t, nil, "./internal/solvers")
+	if got := matching(clean.run(t, walltime.Analyzer, "southwell/internal/solvers"), "injectedStep"); len(got) != 0 {
+		t.Fatalf("unmodified tree mentions the injected function: %v", got)
+	}
+
+	s := load(t, map[string]string{
+		"southwell/internal/sparse":  badSparse,
+		"southwell/internal/solvers": badSolvers,
+	}, "./internal/solvers")
+	got := matching(s.run(t, walltime.Analyzer, "southwell/internal/solvers"), "injectedStep")
+	if len(got) == 0 {
+		t.Fatal("walltime missed the injected cross-package wall-clock read")
+	}
+	msg := got[0].Message
+	if !strings.Contains(msg, "time.Now") || !strings.Contains(msg, "InjectedStamp") {
+		t.Errorf("finding does not show the cross-package path: %s", msg)
+	}
+}
+
+// TestStaleignoreInjection runs the full registry — exactly what the
+// driver does — over the real sparse package with a stale directive
+// spliced in, and expects staleignore (last in the registry) to flag only
+// the injected directive's file.
+func TestStaleignoreInjection(t *testing.T) {
+	// The directive sits on a plain statement line: no allocation site, no
+	// call, no declaration — nothing consumes it, so it is stale. (On a
+	// func decl line it would be consumed by fact building as a
+	// function-level exemption.)
+	const bad = `package sparse
+
+func injectedPlain(x int) int {
+	y := x * 3 //dslint:ignore hotalloc nothing on this line allocates; stale
+	return y
+}
+`
+	s := load(t, map[string]string{"southwell/internal/sparse": bad}, "./internal/sparse")
+	var stale []framework.Diagnostic
+	for _, a := range registry.Analyzers() {
+		diags := s.run(t, a, "southwell/internal/sparse")
+		for _, d := range diags {
+			if a.Name == "staleignore" && strings.Contains(d.Pos.Filename, injectedName) {
+				stale = append(stale, d)
+			}
+		}
+	}
+	if len(stale) != 1 {
+		t.Fatalf("staleignore found %d stale directives in the injected file, want 1", len(stale))
+	}
+	if !strings.Contains(stale[0].Message, "stale //dslint:ignore hotalloc") {
+		t.Errorf("unexpected message: %s", stale[0].Message)
+	}
+}

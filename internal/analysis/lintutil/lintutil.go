@@ -35,6 +35,21 @@ var MapOrderPkgs = []string{
 	"internal/obs",
 }
 
+// WallClockFuncs are the time-package names that read the wall clock or
+// start wall-clock timers. Shared by detrand (direct uses in deterministic
+// packages) and callgraph/walltime (interprocedural reachability).
+var WallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"Sleep":     true,
+}
+
 // MatchAny reports whether pkgPath equals one of the patterns or ends with
 // "/"+pattern (module-prefixed paths).
 func MatchAny(pkgPath string, patterns []string) bool {

@@ -1,18 +1,29 @@
-// Package registry enumerates the dslint analyzers, in the order their
-// diagnostics are reported. cmd/dslint and the suite tests share it so a
-// new analyzer registers in exactly one place.
+// Package registry enumerates the dslint analyzers, in the order they run
+// on each package. cmd/dslint and the suite tests share it so a new
+// analyzer registers in exactly one place.
+//
+// Ordering is semantic, not cosmetic: callgraph must run before hotalloc
+// and walltime (they import the fact it exports for the package under
+// analysis), and staleignore must run last — it reports //dslint:ignore
+// directives whose Used flag no other analyzer set during the run. The
+// cached driver caches whole-registry runs per package, so this order is
+// preserved on warm runs too.
 package registry
 
 import (
+	"southwell/internal/analysis/callgraph"
 	"southwell/internal/analysis/clonerheld"
 	"southwell/internal/analysis/detrand"
 	"southwell/internal/analysis/floatcmp"
 	"southwell/internal/analysis/framework"
+	"southwell/internal/analysis/hotalloc"
 	"southwell/internal/analysis/maporder"
 	"southwell/internal/analysis/phaseabsorb"
+	"southwell/internal/analysis/staleignore"
+	"southwell/internal/analysis/walltime"
 )
 
-// Analyzers returns the full dslint suite.
+// Analyzers returns the full dslint suite in execution order.
 func Analyzers() []*framework.Analyzer {
 	return []*framework.Analyzer{
 		detrand.Analyzer,
@@ -20,5 +31,9 @@ func Analyzers() []*framework.Analyzer {
 		clonerheld.Analyzer,
 		phaseabsorb.Analyzer,
 		floatcmp.Analyzer,
+		callgraph.Analyzer, // fact producer: before hotalloc and walltime
+		hotalloc.Analyzer,
+		walltime.Analyzer,
+		staleignore.Analyzer, // must be last: reads directive Used flags
 	}
 }

@@ -1,0 +1,87 @@
+// Package staleignore reports //dslint:ignore directives that no longer
+// suppress anything, with an autofix that deletes them (DESIGN.md §12).
+//
+// Every suppression in the repo is a justified exception to an invariant.
+// When the code it excused is refactored away, the stale directive keeps
+// advertising an exception that no longer exists — and worse, it will
+// silently swallow a *future* genuine finding on the same line. The
+// framework tracks consumption: a directive is "used" when it suppresses a
+// reported diagnostic or when an analyzer consumes it while building facts
+// (callgraph dropping an exempted allocation site or severing an edge).
+//
+// This analyzer MUST run last in the registry: it inspects the Used flags
+// after every other analyzer has had the chance to set them. The cached
+// driver's unit of caching is the whole-registry run of one package, so
+// the ordering also holds on warm runs.
+package staleignore
+
+import (
+	"bytes"
+	"fmt"
+	"go/token"
+	"strings"
+
+	"southwell/internal/analysis/framework"
+)
+
+// Analyzer is the staleignore check.
+var Analyzer = &framework.Analyzer{
+	Name: "staleignore",
+	Doc: "report //dslint:ignore directives that suppressed nothing this run, with an autofix " +
+		"deleting them; must run last in the registry",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	// Map file name -> token.File for converting byte offsets to positions.
+	tokFiles := map[string]*token.File{}
+	for _, f := range pass.Files {
+		pos := pass.Fset.Position(f.Pos())
+		tokFiles[pos.Filename] = pass.Fset.File(f.Pos())
+	}
+	srcs := pass.Srcs()
+	for _, d := range pass.Directives() {
+		if d.Used {
+			continue
+		}
+		tf := tokFiles[d.File]
+		src := srcs[d.File]
+		if tf == nil || src == nil {
+			continue
+		}
+		start, end := deletionSpan(src, d)
+		pass.Report(tf.Pos(d.Offset),
+			fmt.Sprintf("stale //dslint:ignore %s: it suppresses nothing; delete it",
+				strings.Join(d.Names, ",")),
+			framework.SuggestedFix{
+				Message: "delete stale directive",
+				Edits:   []framework.TextEdit{{File: d.File, Start: start, End: end}},
+			})
+	}
+	return nil
+}
+
+// deletionSpan widens a directive's byte span for clean removal: an
+// own-line directive takes its whole line (including the newline); a
+// trailing directive also consumes the spaces separating it from the code.
+func deletionSpan(src []byte, d *framework.Directive) (start, end int) {
+	start, end = d.Offset, d.End
+	if d.OwnLine {
+		if i := bytes.LastIndexByte(src[:start], '\n'); i >= 0 {
+			start = i + 1
+		} else {
+			start = 0
+		}
+		if end < len(src) && src[end] == '\r' {
+			end++
+		}
+		if end < len(src) && src[end] == '\n' {
+			end++
+		}
+		return start, end
+	}
+	for start > 0 && (src[start-1] == ' ' || src[start-1] == '\t') {
+		start--
+	}
+	return start, end
+}

@@ -1,0 +1,88 @@
+package staleignore_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"southwell/internal/analysis/analysistest"
+	"southwell/internal/analysis/callgraph"
+	"southwell/internal/analysis/floatcmp"
+	"southwell/internal/analysis/framework"
+	"southwell/internal/analysis/hotalloc"
+	"southwell/internal/analysis/staleignore"
+)
+
+// suite mirrors the registry's ordering constraint: consumers of
+// directives (floatcmp suppression, callgraph fact building) run before
+// staleignore, which must be last.
+func suite() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		floatcmp.Analyzer, callgraph.Analyzer, hotalloc.Analyzer, staleignore.Analyzer,
+	}
+}
+
+func TestStaleIgnore(t *testing.T) {
+	analysistest.RunSuite(t, analysistest.TestData(), suite(), "stale/a")
+}
+
+// TestStaleIgnoreFix applies the deletion fixes to a copy of the fixture
+// and checks the round trip: the stale directives disappear, the file
+// still type-checks, and a re-run reports nothing.
+func TestStaleIgnoreFix(t *testing.T) {
+	tmp := t.TempDir()
+	dst := filepath.Join(tmp, "src", "stale", "a")
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile(filepath.Join(analysistest.TestData(), "src", "stale", "a", "a.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := filepath.Join(dst, "a.go")
+	if err := os.WriteFile(target, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	diags := analysistest.Diagnostics(t, tmp, suite(), "stale/a")
+	var stale []framework.Diagnostic
+	for _, d := range diags {
+		if strings.HasPrefix(d.Message, "stale //dslint:ignore") {
+			stale = append(stale, d)
+		}
+	}
+	if len(stale) != 3 {
+		t.Fatalf("got %d stale findings, want 3: %v", len(stale), stale)
+	}
+	changed, err := framework.ApplyFixes(stale)
+	if err != nil {
+		t.Fatalf("applying fixes: %v", err)
+	}
+	if len(changed) != 1 || changed[0] != target {
+		t.Fatalf("changed files = %v, want [%s]", changed, target)
+	}
+
+	fixed, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gone := range []string{"ints compare exactly", "nothing on this line allocates", "nosuchcheck"} {
+		if strings.Contains(string(fixed), gone) {
+			t.Errorf("stale directive %q still present after fix", gone)
+		}
+	}
+	for _, kept := range []string{"exact representability is intended in this helper", "one-time lazy initialization"} {
+		if !strings.Contains(string(fixed), kept) {
+			t.Errorf("live directive %q was deleted by fix", kept)
+		}
+	}
+
+	// Re-run on the fixed tree: it must type-check and be quiet.
+	rerun := analysistest.Diagnostics(t, tmp, suite(), "stale/a")
+	for _, d := range rerun {
+		if strings.HasPrefix(d.Message, "stale //dslint:ignore") {
+			t.Errorf("stale finding survived the fix: %s", d)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+// Fixtures for staleignore: directives consumed by suppression (floatcmp)
+// or by fact building (callgraph dropping an exempted allocation site) are
+// live; directives that suppress nothing — including ones naming a
+// misspelled analyzer — are stale and get a deletion fix.
+package a
+
+func eqFloat(a, b float64) bool {
+	return a == b //dslint:ignore floatcmp exact representability is intended in this helper
+}
+
+func eqFloatOwnLine(a, b float64) bool {
+	//dslint:ignore floatcmp exact representability is intended on the next line
+	return a == b
+}
+
+func eqInt(a, b int) bool {
+	return a == b //dslint:ignore floatcmp ints compare exactly // want `stale //dslint:ignore floatcmp: it suppresses nothing; delete it`
+}
+
+func calc(x int) int {
+	y := x * 2 //dslint:ignore hotalloc nothing on this line allocates anymore // want `stale //dslint:ignore hotalloc: it suppresses nothing; delete it`
+	return y
+}
+
+type cache struct {
+	buf []float64
+}
+
+//dslint:hotpath
+func (c *cache) ensure(n int) {
+	if c.buf == nil {
+		c.buf = make([]float64, n) //dslint:ignore hotalloc one-time lazy initialization
+	}
+}
+
+//dslint:ignore nosuchcheck misspelled analyzer name is never consumed // want `stale //dslint:ignore nosuchcheck: it suppresses nothing; delete it`
+func typod() {}

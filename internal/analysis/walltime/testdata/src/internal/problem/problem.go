@@ -1,0 +1,17 @@
+// Package problem is a deterministic fixture package (its path suffix is
+// on lintutil.DeterministicPkgs). The wall-clock read here is detrand's to
+// report at the exact position — walltime must NOT re-report it.
+package problem
+
+import "time"
+
+// Tick reads the wall clock inside a deterministic package: detrand's
+// jurisdiction, deliberately not walltime's.
+func Tick() int64 {
+	return time.Now().UnixNano()
+}
+
+// Size is clean.
+func Size(n int) int {
+	return n * n
+}

@@ -1,0 +1,49 @@
+// Package solvers is a deterministic fixture package: every function here
+// is a walltime walk root. Reads reached in non-deterministic packages
+// (timeutil) must be reported with the call path; reads inside
+// deterministic packages (problem) are detrand's to report and must not be.
+package solvers
+
+import (
+	"internal/problem"
+	"timeutil"
+)
+
+// Severed sorts before Step, so it walks first: the severed edge must keep
+// it from claiming (and thus deduplicating away) Stamp's wall site.
+func Severed() int64 {
+	return timeutil.Stamp() //dslint:ignore walltime cold diagnostics path, not part of a solver step
+}
+
+func Step(x []float64) int64 { // want `solvers\.Step reaches wall-clock read time\.Now at timeutil\.go:\d+ \(outside detrand's coverage\); call path: internal/solvers\.Step \(solvers\.go:\d+\) -> timeutil\.Stamp`
+	for i := range x {
+		x[i] *= 2
+	}
+	return timeutil.Stamp()
+}
+
+type clock interface{ Read() int64 }
+
+func ReadClock(c clock) int64 { // want `solvers\.ReadClock reaches wall-clock read time\.Now at timeutil\.go:\d+ .*; call path: internal/solvers\.ReadClock \(solvers\.go:\d+\) -> timeutil\.\(SysClock\)\.Read`
+	return c.Read()
+}
+
+// Clean reaches only clean code across the boundary.
+func Clean(a, b int) int {
+	return timeutil.Add(a, b)
+}
+
+// UsesTick reaches a wall-clock read that sits inside another
+// deterministic package: detrand reports that one at the read position, so
+// walltime stays silent here.
+func UsesTick() int64 {
+	return problem.Tick()
+}
+
+// Trusted is exempted wholesale: a vetted wrapper whose timing use is
+// logging-only by review.
+//
+//dslint:ignore walltime trusted wrapper, logging only
+func Trusted() int64 {
+	return timeutil.Stamp()
+}

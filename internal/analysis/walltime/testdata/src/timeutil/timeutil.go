@@ -1,0 +1,26 @@
+// Package timeutil is a non-deterministic fixture package: detrand does
+// not cover it (its path matches no deterministic suffix), so wall-clock
+// reads here are legal locally — but must be flagged by walltime when a
+// deterministic package reaches them through the callgraph.
+package timeutil
+
+import "time"
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Add is clean: deterministic callers may use it freely.
+func Add(a, b int) int {
+	return a + b
+}
+
+// SysClock implements the solvers' clock interface with a wall-clock read,
+// exercising interface dispatch across the package boundary.
+type SysClock struct{}
+
+// Read reads the wall clock.
+func (SysClock) Read() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,92 @@
+// Package walltime extends detrand's determinism guarantee across package
+// boundaries (DESIGN.md §12).
+//
+// detrand forbids wall-clock reads *inside* the deterministic packages
+// (internal/rma, dmem, bench, solvers, partition, problem, parallel, obs).
+// It cannot see a deterministic package calling a helper in a
+// non-deterministic package that itself calls time.Now — the read happens
+// outside detrand's jurisdiction, but the nondeterminism flows right back
+// into the solver step. walltime closes that hole: every function in a
+// deterministic package is a walk root, and any wall-clock site reachable
+// through the callgraph facts in a package detrand does NOT cover is
+// reported, with the call path. Sites inside deterministic packages are
+// deliberately not re-reported — detrand already flags them at the exact
+// read position, which is the better diagnostic.
+//
+// //dslint:ignore walltime on a function declaration exempts the function
+// (trusted wrappers); on a call line it severs the edge. External
+// (standard-library) callees are not traversed: the guarantee covers
+// module code, and the deterministic packages' stdlib surface is vetted by
+// detrand's import review.
+package walltime
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"southwell/internal/analysis/callgraph"
+	"southwell/internal/analysis/framework"
+	"southwell/internal/analysis/lintutil"
+)
+
+// Analyzer is the walltime check.
+var Analyzer = &framework.Analyzer{
+	Name: "walltime",
+	Doc: "prove deterministic-package code never reaches a wall-clock read in other module packages " +
+		"via the callgraph facts; complements detrand's per-package check",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	if !lintutil.IsDeterministic(pass.Pkg.Path()) {
+		return nil
+	}
+	type root struct {
+		id  string
+		pos token.Pos
+	}
+	var roots []root
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if id := callgraph.DeclID(pass, fd); id != "" {
+				roots = append(roots, root{id, fd.Pos()})
+			}
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].id < roots[j].id })
+
+	u, err := callgraph.NewUniverse(pass)
+	if err != nil {
+		return err
+	}
+
+	reported := map[string]bool{}
+	for _, r := range roots {
+		r := r
+		shortRoot := r.id[strings.LastIndexByte(r.id, '/')+1:]
+		u.Walk(r.id, callgraph.ModeWalltime,
+			func(reach callgraph.Reached) {
+				if lintutil.IsDeterministic(callgraph.PkgOfID(reach.Fn.ID)) {
+					return // detrand reports these at the read position
+				}
+				for _, site := range reach.Fn.WallSites {
+					key := site.Pos + "|" + site.Desc
+					if reported[key] {
+						continue
+					}
+					reported[key] = true
+					pass.Reportf(r.pos,
+						"%s reaches wall-clock read %s at %s (outside detrand's coverage); call path: %s",
+						shortRoot, site.Desc, site.Pos, callgraph.FormatPath(reach.Path))
+				}
+			},
+			nil, nil)
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"southwell/internal/analysis/analysistest"
+	"southwell/internal/analysis/callgraph"
+	"southwell/internal/analysis/framework"
+	"southwell/internal/analysis/walltime"
+)
+
+// TestWalltime checks that deterministic fixture packages reaching
+// wall-clock reads in non-deterministic packages are flagged with the call
+// path (static and interface dispatch), while reads inside deterministic
+// packages (detrand's jurisdiction), severed edges, and exempted wrappers
+// stay silent. Dependencies (timeutil, internal/problem) are loaded and
+// checked too — they must produce no walltime diagnostics at all.
+func TestWalltime(t *testing.T) {
+	analysistest.RunSuite(t, analysistest.TestData(),
+		[]*framework.Analyzer{callgraph.Analyzer, walltime.Analyzer},
+		"internal/solvers")
+}

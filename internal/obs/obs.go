@@ -300,12 +300,15 @@ func (r *Recorder) shardFor(rank int32) int {
 
 // Emit records one event: a ring write plus an incremental tally update.
 // Nil-safe and allocation-free. See Tracer for the concurrency contract.
+//
+//dslint:hotpath
 func (r *Recorder) Emit(e Event) {
 	if r == nil || e.Kind == KindNone {
 		return
 	}
 	r.shards[r.shardFor(e.Rank)].emit(e)
 	if e.Kind == KindStep {
+		//dslint:ignore hotalloc one row per solver step into a 256-cap preallocated table; growth is rare and amortized
 		r.steps = append(r.steps, stepRecord{
 			step:    e.Step,
 			resNorm: e.V1,

@@ -206,6 +206,8 @@ func (ch *chaosState) markPaused(phase int64) bool {
 
 // fault decides the fate of one staged message at a delivery boundary.
 // Returning deliver=false means the message was captured as delayed.
+//
+//dslint:ignore hotalloc chaos capture path: delayed messages must clone their payloads by design, and faults are never enabled on measured runs
 func (ch *chaosState) fault(m *Message, phase int64) (deliver, dup bool) {
 	if ch.plan.DelayProb > 0 && ch.rng.float() < ch.plan.DelayProb {
 		k := 1 + ch.rng.intn(ch.plan.DelayMax)
@@ -234,9 +236,9 @@ func (ch *chaosState) releaseDue(phase int64) []heldMsg {
 	kept := ch.held[:0]
 	for _, h := range ch.held {
 		if h.due <= phase {
-			due = append(due, h)
+			due = append(due, h) //dslint:ignore hotalloc dueScratch backing array is recycled across boundaries
 		} else {
-			kept = append(kept, h)
+			kept = append(kept, h) //dslint:ignore hotalloc appends into held's own backing array (kept = ch.held[:0]), never grows
 		}
 	}
 	// Zero the tail so released payloads are not retained by the backing

@@ -167,6 +167,8 @@ func NewWorld(p int, model CostModel) *World {
 // called from rank `from`'s phase function. Payloads should be pointers to
 // caller-owned buffers: boxing a pointer does not allocate, and the runtime
 // never copies or retains payload contents beyond the receiving phase.
+//
+//dslint:hotpath
 func (w *World) Put(from, to int, tag Tag, bytes int, payload any) {
 	if w.closed {
 		panic(ErrClosed)
@@ -174,7 +176,7 @@ func (w *World) Put(from, to int, tag Tag, bytes int, payload any) {
 	if to < 0 || to >= w.P {
 		panic(fmt.Sprintf("rma: Put target %d out of range (P=%d)", to, w.P))
 	}
-	w.staged[from] = append(w.staged[from], Message{From: from, To: to, Tag: tag, Bytes: bytes, Payload: payload})
+	w.staged[from] = append(w.staged[from], Message{From: from, To: to, Tag: tag, Bytes: bytes, Payload: payload}) //dslint:ignore hotalloc staging buffers keep their capacity across phases (deliver resets to st[:0])
 	w.msgs[from]++
 	w.bytes[from] += int64(bytes)
 	if w.trace != nil {
@@ -191,12 +193,16 @@ func (w *World) Put(from, to int, tag Tag, bytes int, payload any) {
 }
 
 // Charge records flops of local computation for rank in the current phase.
+//
+//dslint:hotpath
 func (w *World) Charge(rank int, flops float64) {
 	w.flops[rank] += flops
 }
 
 // Inbox returns the messages delivered to rank at the last phase boundary.
 // The slice is valid until the next phase boundary.
+//
+//dslint:hotpath
 func (w *World) Inbox(rank int) []Message {
 	return w.inbox[rank]
 }
@@ -227,6 +233,8 @@ func (w *World) PhaseIndex() int64 { return w.phases }
 // accounted. Both engines produce bit-identical results: f(p) may only
 // touch rank p's state, and cross-rank data moves exclusively through Put
 // at the phase boundary.
+//
+//dslint:hotpath
 func (w *World) RunPhase(f func(rank int)) {
 	if w.closed {
 		panic(ErrClosed)
@@ -236,6 +244,7 @@ func (w *World) RunPhase(f func(rank int)) {
 		// not run, and deliver leaves their windows (inboxes) intact so
 		// landed one-sided writes stay readable until they next execute.
 		inner := f
+		//dslint:ignore hotalloc chaos wrapper closure, built only under an installed fault plan
 		f = func(p int) {
 			if !ch.pausedNow[p] {
 				inner(p)
@@ -243,7 +252,7 @@ func (w *World) RunPhase(f func(rank int)) {
 		}
 	}
 	if w.Parallel && w.P > 1 {
-		w.poolOnce.Do(w.startPool)
+		w.poolOnce.Do(w.startPool) //dslint:ignore hotalloc method value for one-time pool start; Once skips it on every later phase
 		w.barrier.Add(len(w.workers))
 		for _, ch := range w.workers {
 			ch <- f
@@ -260,6 +269,8 @@ func (w *World) RunPhase(f func(rank int)) {
 // startPool creates the persistent workers: at most GOMAXPROCS goroutines,
 // each owning a contiguous chunk of ranks for its lifetime. Workers survive
 // across phases (and across solver steps) until Close.
+//
+//dslint:ignore hotalloc one-time worker-pool construction behind poolOnce
 func (w *World) startPool() {
 	n := runtime.GOMAXPROCS(0)
 	if n > w.P {
@@ -463,6 +474,7 @@ func (w *World) deliver() {
 		in := w.inbox[p]
 		for i := 1; i < len(in); i++ {
 			if in[i].From < in[i-1].From {
+				//dslint:ignore hotalloc defensive re-sort, unreachable while delivery iterates senders in ascending rank order
 				sort.SliceStable(in, func(a, b int) bool { return in[a].From < in[b].From })
 				break
 			}
@@ -492,7 +504,7 @@ func (w *World) emitFault(flag uint8, from, to int) {
 // (the write occupies the target's NIC even though its CPU is not
 // involved).
 func (w *World) land(m Message) {
-	w.inbox[m.To] = append(w.inbox[m.To], m)
+	w.inbox[m.To] = append(w.inbox[m.To], m) //dslint:ignore hotalloc window buffers keep their capacity across phases (deliver resets to in[:0])
 	w.recvMsgs[m.To]++
 	w.recvBytes[m.To] += int64(m.Bytes)
 	w.delivered++

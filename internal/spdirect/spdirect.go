@@ -240,11 +240,13 @@ func (s *Symbolic) Factorize(val []float64) (*Factor, error) {
 // permuted upper entries of column k into the sparse accumulator, walk the
 // elimination tree to assemble the row pattern in topological order, then
 // eliminate against each pattern column in turn.
+//
+//dslint:hotpath
 func (f *Factor) Refactor(val []float64) error {
 	s := f.sym
 	n := s.N
 	if len(val) < s.nnzA {
-		return fmt.Errorf("spdirect: val length %d < analyzed nnz %d", len(val), s.nnzA)
+		return fmt.Errorf("spdirect: val length %d < analyzed nnz %d", len(val), s.nnzA) //dslint:ignore hotalloc error path: caller bug, not steady state
 	}
 	y, pat, flag, next := f.yn, f.pattern, f.flag, f.next
 	for k := 0; k < n; k++ {
@@ -294,7 +296,7 @@ func (f *Factor) Refactor(val []float64) error {
 			for i := range y {
 				y[i] = 0
 			}
-			return fmt.Errorf("%w (pivot %g at permuted column %d)", ErrNotPositiveDefinite, dk, k)
+			return fmt.Errorf("%w (pivot %g at permuted column %d)", ErrNotPositiveDefinite, dk, k) //dslint:ignore hotalloc error path: an indefinite pivot aborts the factorization
 		}
 		f.D[k] = dk
 	}
@@ -305,6 +307,8 @@ func (f *Factor) Refactor(val []float64) error {
 // solve L, scale by D, backward solve Lᵀ, permute back. b is not modified;
 // x may alias b. Zero allocations: the permuted vector lives in the
 // factor's scratch. Not safe for concurrent calls on one Factor.
+//
+//dslint:hotpath
 func (f *Factor) Solve(b, x []float64) {
 	s := f.sym
 	n := s.N
