@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint lint-fix lint-cache-check race chaos-smoke bench-kernels bench-ldl bench-obs verify bench clean
+.PHONY: build test vet lint lint-fix lint-cache-check race chaos-smoke bench-kernels bench-ldl bench-obs bench-scale verify bench clean
 
 build:
 	$(GO) build ./...
@@ -80,7 +80,17 @@ bench-obs:
 	$(GO) test -run 'TestObsAllocGate' ./internal/obs/
 	$(GO) test -bench 'BenchmarkObs' -benchtime 1x -run '^$$' ./internal/obs/ >/dev/null
 
-verify: build lint test race chaos-smoke bench-kernels bench-ldl bench-obs
+# Scheduler smoke: the allocs/op regression gate against BENCH_scale.json
+# (a neighborhood-scheduled phase group must stay allocation-free in steady
+# state — the memory discipline that makes the 4096/8192-rank rungs of the
+# scaling study CI-feasible) plus one iteration of the scheduler benchmark.
+# The full host-time ladder lives in `benchtables scaling` (results/
+# scaling.txt), not in verify.
+bench-scale:
+	$(GO) test -run 'TestScaleAllocGate' ./internal/rma/
+	$(GO) test -bench 'BenchmarkScalePhases' -benchtime 1x -run '^$$' ./internal/rma/ >/dev/null
+
+verify: build lint test race chaos-smoke bench-kernels bench-ldl bench-obs bench-scale
 
 # Micro-benchmarks for the phase engine, message path, numerical kernels,
 # and sparse local solver (see BENCH_rma.json, BENCH_kernels.json, and

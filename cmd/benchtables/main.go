@@ -6,7 +6,8 @@
 //	benchtables [flags] <experiment>...
 //
 // where each experiment is one of: fig2 fig5 fig6 fig7 fig8 fig9 table2
-// table3 table4 deadlock ablation chaos all.
+// table3 table4 deadlock ablation chaos scaling all ("all" excludes
+// scaling, the paper-scale host-performance study — request it by name).
 //
 // Flags:
 //
@@ -20,6 +21,10 @@
 //	-loc_solver S  local subdomain solver for every run: gs (default),
 //	               direct (sparse LDLT), or auto (per-rank crossover)
 //	-goroutines    run each simulated world on the rma worker-pool engine
+//	-sched S       pool-engine epoch discipline: barrier (default) or
+//	               neighbor (per-neighborhood PSCW epochs; implies
+//	               -goroutines). Results are bit-identical either way
+//	-v             log driver progress (cache skips, shared setups) to stderr
 //	-chaos P       inject delay faults: each message delayed 1-3 phases with
 //	               probability P (deterministic per -chaos-seed)
 //	-chaos-seed S  fault-injection seed (default 1)
@@ -62,6 +67,24 @@ var experiments = []struct {
 	{"deadlock", bench.Deadlock},
 	{"ablation", bench.Ablation},
 	{"chaos", bench.Chaos},
+	// scaling is explicit-only (excluded from "all"): the 8192-rank rungs
+	// and host-time measurement make it a standalone study, not a table.
+	{"scaling", runScaling},
+}
+
+// allExcluded experiments must be requested by name.
+var allExcluded = map[string]bool{"scaling": true}
+
+// parseSched resolves the -sched flag (shared vocabulary with
+// cmd/dsouthwell).
+func parseSched(s string) (rma.Sched, error) {
+	switch s {
+	case "barrier":
+		return rma.SchedBarrier, nil
+	case "neighbor", "nbr":
+		return rma.SchedNeighbor, nil
+	}
+	return 0, fmt.Errorf("-sched %q: unknown (use barrier or neighbor)", s)
 }
 
 // parseLocSolver resolves the -loc_solver flag (shared vocabulary with
@@ -127,6 +150,8 @@ func main() {
 	locSolver := flag.String("loc_solver", "gs", "local subdomain solver for every run: gs, direct (sparse LDLT), or auto")
 	kernelWorkers := flag.Int("kernel-workers", 0, "workers for the shared numerical-kernel pool; results are identical for every value (0 = SOUTHWELL_KERNEL_WORKERS env or GOMAXPROCS, 1 = sequential kernels)")
 	goroutines := flag.Bool("goroutines", false, "run simulated worlds on the rma worker-pool engine")
+	sched := flag.String("sched", "barrier", "pool-engine epoch discipline: barrier (global) or neighbor (per-neighborhood PSCW groups; implies -goroutines). Results are identical either way")
+	verbose := flag.Bool("v", false, "log driver progress (cache-skipped cells, shared setups) to stderr")
 	chaos := flag.Float64("chaos", 0, "inject delay faults into every run: per-message probability of a 1-3 phase delivery delay (0 = perfect network)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injection seed (chaos runs are bit-reproducible per seed)")
 	traceDir := flag.String("trace", "", "write one Chrome trace-event JSON per suite run into this directory (open in Perfetto)")
@@ -140,6 +165,11 @@ func main() {
 		os.Exit(2)
 	}
 	local, err := parseLocSolver(*locSolver)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+		os.Exit(2)
+	}
+	schedVal, err := parseSched(*sched)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
 		os.Exit(2)
@@ -161,8 +191,12 @@ func main() {
 	}
 
 	cfg := bench.Config{Ranks: *ranks, Steps: *steps, Quick: *quick, Seed: *seed,
-		Par: *par, Goroutines: *goroutines, ChaosSeed: *chaosSeed, Local: local,
+		Par: *par, Goroutines: *goroutines || schedVal == rma.SchedNeighbor,
+		Sched: schedVal, ChaosSeed: *chaosSeed, Local: local,
 		TraceDir: *traceDir, MetricsDir: *metricsDir}
+	if *verbose {
+		cfg.LogW = os.Stderr
+	}
 	if *chaos > 0 {
 		cfg.Faults = rma.DelayPlan(*chaosSeed, *chaos, 3)
 	}
@@ -181,14 +215,16 @@ func main() {
 
 func run(cfg bench.Config, args []string, outDir string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: benchtables [flags] fig2|fig5|fig6|fig7|fig8|fig9|table2|table3|table4|deadlock|ablation|chaos|all")
+		return fmt.Errorf("usage: benchtables [flags] fig2|fig5|fig6|fig7|fig8|fig9|table2|table3|table4|deadlock|ablation|chaos|scaling|all")
 	}
 
 	want := map[string]bool{}
 	for _, a := range args {
 		if a == "all" {
 			for _, e := range experiments {
-				want[e.name] = true
+				if !allExcluded[e.name] {
+					want[e.name] = true
+				}
 			}
 			continue
 		}

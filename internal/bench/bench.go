@@ -54,6 +54,15 @@ type Config struct {
 	// Goroutines runs each simulated world on the rma worker-pool engine
 	// (bit-identical results; see the dmem engine-equivalence tests).
 	Goroutines bool
+	// Sched selects the pool engine's epoch discipline when Goroutines is
+	// set (rma.SchedNeighbor pipelines phases per neighborhood). Like Par
+	// and Goroutines it never changes results, so it is excluded from the
+	// run-cache key.
+	Sched rma.Sched
+	// LogW, when non-nil, receives verbose driver progress: cells skipped
+	// via the run cache and setups shared via the setup cache (-v in
+	// cmd/benchtables). Logging never changes results.
+	LogW io.Writer
 	// Local selects the subdomain solver for suite runs (default
 	// dmem.LocalGS, the paper's setting).
 	Local dmem.LocalSolver
@@ -186,7 +195,16 @@ var (
 	matCache = map[string]*sparse.CSR{}
 	partMu   sync.Mutex
 	pCache   = map[string][]int{}
+	setupMu  sync.Mutex
+	sCache   = map[setupKey]*dmem.Setup{}
 )
+
+// logf writes verbose driver progress to cfg.LogW, if configured.
+func (c Config) logf(format string, args ...any) {
+	if c.LogW != nil {
+		fmt.Fprintf(c.LogW, format, args...)
+	}
+}
 
 // matrixFor builds (and caches) a scaled suite matrix. The build runs
 // outside the cache lock so concurrent workers on different matrices do
@@ -231,14 +249,67 @@ func partitionFor(name string, a *sparse.CSR, ranks int, seed int64) []int {
 	return p
 }
 
-// runSuite runs (with caching) one method on one suite matrix, using the
-// config's seed and world engine.
-func runSuite(cfg Config, name string, method core.DistMethod, ranks, steps int) (*dmem.Result, error) {
-	key := runKey{
-		name: name, method: method, ranks: ranks, steps: steps,
-		seed: cfg.seed(), local: cfg.Local, model: cfg.costModel(),
-		chaos: chaosKey(cfg.Faults),
+// setupKey identifies one shared preprocessing unit: everything that
+// changes the partition, layout, or local factorizations — and nothing
+// else. Model and Faults are deliberately absent: they shape the *run*
+// (runKey distinguishes them) but not the setup, so every method, cost
+// model, and fault plan on the same (matrix, ranks, seed, local) cell
+// shares one setup.
+type setupKey struct {
+	name  string
+	ranks int
+	seed  int64
+	local dmem.LocalSolver
+}
+
+// setupFor builds (and caches) the shared (partition, layout, local
+// factorization) preprocessing of one suite cell. Same locking idiom as
+// matrixFor: build outside the lock, first store wins.
+func setupFor(name string, ranks int, seed int64, local dmem.LocalSolver) (*dmem.Setup, error) {
+	key := setupKey{name: name, ranks: ranks, seed: seed, local: local}
+	setupMu.Lock()
+	if s, ok := sCache[key]; ok {
+		setupMu.Unlock()
+		return s, nil
 	}
+	setupMu.Unlock()
+	a, err := matrixFor(name)
+	if err != nil {
+		return nil, err
+	}
+	part := partitionFor(name, a, ranks, seed)
+	l, err := dmem.NewLayout(a, part, ranks)
+	if err != nil {
+		return nil, err
+	}
+	s, err := dmem.NewSetup(l, local)
+	if err != nil {
+		return nil, err
+	}
+	setupMu.Lock()
+	defer setupMu.Unlock()
+	if prev, ok := sCache[key]; ok {
+		return prev, nil
+	}
+	sCache[key] = s
+	return s, nil
+}
+
+// keyFor is the run-cache key of one suite cell under this config.
+func (c Config) keyFor(name string, method core.DistMethod, ranks, steps int) runKey {
+	return runKey{
+		name: name, method: method, ranks: ranks, steps: steps,
+		seed: c.seed(), local: c.Local, model: c.costModel(),
+		chaos: chaosKey(c.Faults),
+	}
+}
+
+// runSuite runs (with caching) one method on one suite matrix, using the
+// config's seed and world engine. Partitioning, layout construction, and
+// local factorization go through the setup cache, so every method/table
+// cell on the same (matrix, ranks) pays for them exactly once.
+func runSuite(cfg Config, name string, method core.DistMethod, ranks, steps int) (*dmem.Result, error) {
+	key := cfg.keyFor(name, method, ranks, steps)
 	runMu.Lock()
 	if r, ok := runCache[key]; ok {
 		runMu.Unlock()
@@ -246,16 +317,16 @@ func runSuite(cfg Config, name string, method core.DistMethod, ranks, steps int)
 	}
 	runMu.Unlock()
 
-	a, err := matrixFor(name)
+	setup, err := setupFor(name, ranks, cfg.seed(), cfg.Local)
 	if err != nil {
 		return nil, err
 	}
-	part := partitionFor(name, a, ranks, cfg.seed())
+	a := setup.Layout.A
 	b, x := problem.ZeroBSystem(a, cfg.seed())
 	opt := core.DistOptions{
-		Method: method, Ranks: ranks, Steps: steps, Part: part,
-		Parallel: cfg.Goroutines,
-		Local:    cfg.Local, Model: cfg.Model, Faults: cfg.Faults,
+		Method: method, Ranks: ranks, Steps: steps, Setup: setup,
+		Parallel: cfg.Goroutines, Sched: cfg.Sched,
+		Local: cfg.Local, Model: cfg.Model, Faults: cfg.Faults,
 	}
 	// Trace hook: any table/figure run can dump its per-rank timeline.
 	// Cached runs skip this path, so each run key is exported exactly once
@@ -353,21 +424,41 @@ func suiteJobs(names []string, methods []core.DistMethod, rankCounts []int, step
 // prefetch executes the given runs with up to cfg.par() concurrent worlds,
 // populating the run cache so the table printers read memoized results in
 // their own (deterministic) order. A no-op when Par <= 1: the printers
-// compute lazily through runSuite exactly as before.
+// compute lazily through runSuite exactly as before (which still shares
+// setups through the setup cache).
 func prefetch(cfg Config, jobs []runJob) error {
 	par := cfg.par()
 	if par <= 1 || len(jobs) <= 1 {
 		return nil
 	}
-	// Stage 1: distinct (matrix, ranks) builds, so the expensive matrix
-	// generation and partitioning are each done once, in parallel.
+	// Drop jobs whose results are already cached (Tables 2-4 overlap on the
+	// to-target step budget): no world needs to run for them at all.
+	fresh := jobs[:0:0]
+	for _, j := range jobs {
+		key := cfg.keyFor(j.name, j.method, j.ranks, j.steps)
+		runMu.Lock()
+		_, hit := runCache[key]
+		runMu.Unlock()
+		if hit {
+			cfg.logf("bench: cache skip %s %s p=%d steps=%d\n", j.name, j.method, j.ranks, j.steps)
+			continue
+		}
+		fresh = append(fresh, j)
+	}
+	if len(fresh) == 0 {
+		return nil
+	}
+	// Stage 1: distinct (matrix, ranks) setups — matrix generation,
+	// partitioning, layout, and local factorization each happen once, in
+	// parallel, through the setup cache; every method cell then shares the
+	// result immutably.
 	type prepKey struct {
 		name  string
 		ranks int
 	}
 	var preps []prepKey
 	seen := map[prepKey]bool{}
-	for _, j := range jobs {
+	for _, j := range fresh {
 		k := prepKey{j.name, j.ranks}
 		if !seen[k] {
 			seen[k] = true
@@ -375,18 +466,20 @@ func prefetch(cfg Config, jobs []runJob) error {
 		}
 	}
 	if err := forEachPar(par, len(preps), func(i int) error {
-		a, err := matrixFor(preps[i].name)
-		if err != nil {
-			return err
+		setupMu.Lock()
+		_, hit := sCache[setupKey{name: preps[i].name, ranks: preps[i].ranks, seed: cfg.seed(), local: cfg.Local}]
+		setupMu.Unlock()
+		if hit {
+			cfg.logf("bench: setup cache hit %s p=%d\n", preps[i].name, preps[i].ranks)
 		}
-		partitionFor(preps[i].name, a, preps[i].ranks, cfg.seed())
-		return nil
+		_, err := setupFor(preps[i].name, preps[i].ranks, cfg.seed(), cfg.Local)
+		return err
 	}); err != nil {
 		return err
 	}
 	// Stage 2: the runs themselves, one simulated world per worker slot.
-	return forEachPar(par, len(jobs), func(i int) error {
-		_, err := runSuite(cfg, jobs[i].name, jobs[i].method, jobs[i].ranks, jobs[i].steps)
+	return forEachPar(par, len(fresh), func(i int) error {
+		_, err := runSuite(cfg, fresh[i].name, fresh[i].method, fresh[i].ranks, fresh[i].steps)
 		return err
 	})
 }
@@ -442,6 +535,9 @@ func ResetCaches() {
 	partMu.Lock()
 	pCache = map[string][]int{}
 	partMu.Unlock()
+	setupMu.Lock()
+	sCache = map[setupKey]*dmem.Setup{}
+	setupMu.Unlock()
 }
 
 // dagger formats a float with a † for missing values, like the paper.

@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"southwell/internal/core"
+	"southwell/internal/dmem"
+	"southwell/internal/problem"
+	"southwell/internal/rma"
+)
+
+// TestSetupCacheHitIsIdentical: a second setupFor on the same cell returns
+// the identical object — same *Setup, same *Layout, same shared
+// factorizations — not a rebuilt copy.
+func TestSetupCacheHitIsIdentical(t *testing.T) {
+	ResetCaches()
+	defer ResetCaches()
+	s1, err := setupFor("af_5_k101", 16, 1, dmem.LocalDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := setupFor("af_5_k101", 16, 1, dmem.LocalDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatal("cache hit returned a different *Setup")
+	}
+	if s1.Layout != s2.Layout {
+		t.Fatal("cache hit returned a different *Layout")
+	}
+	for p := 0; p < s1.Layout.P; p++ {
+		if s1.Factor(p) == nil || s1.Factor(p) != s2.Factor(p) {
+			t.Fatalf("rank %d factorization not shared", p)
+		}
+	}
+}
+
+// TestSetupCacheKeys: the setup key distinguishes exactly the inputs that
+// change the preprocessing (matrix, ranks, seed, local solver); the run
+// cache on top of it distinguishes Model and Faults the way runKey always
+// has, while those runs still share a single setup.
+func TestSetupCacheKeys(t *testing.T) {
+	ResetCaches()
+	defer ResetCaches()
+	base, err := setupFor("af_5_k101", 16, 1, dmem.LocalGS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, other := range map[string]setupKey{
+		"ranks": {name: "af_5_k101", ranks: 8, seed: 1, local: dmem.LocalGS},
+		"seed":  {name: "af_5_k101", ranks: 16, seed: 2, local: dmem.LocalGS},
+		"local": {name: "af_5_k101", ranks: 16, seed: 1, local: dmem.LocalDirect},
+	} {
+		s, err := setupFor(other.name, other.ranks, other.seed, other.local)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s == base {
+			t.Errorf("%s: differing %s mapped to the same setup", other.name, name)
+		}
+	}
+	// Seed-matching GS and Direct setups share the layout-defining inputs
+	// but not the factorizations; they still share the cached partition.
+	direct, _ := setupFor("af_5_k101", 16, 1, dmem.LocalDirect)
+	if base.Factor(0) != nil {
+		t.Error("LocalGS setup carries factorizations")
+	}
+	if direct.Factor(0) == nil {
+		t.Error("LocalDirect setup carries no factorizations")
+	}
+
+	// Model/Faults vary the run, not the setup: two runs differing only in
+	// cost model / fault plan get distinct run-cache entries but one setup.
+	cfgA := Config{Ranks: 16, Seed: 1}
+	cfgB := Config{Ranks: 16, Seed: 1, Model: &rma.CostModel{Alpha: 1}}
+	cfgC := Config{Ranks: 16, Seed: 1, Faults: &rma.FaultPlan{Seed: 3, Stragglers: map[int]float64{0: 2}}}
+	if cfgA.keyFor("af_5_k101", core.DistSWD, 16, 5) == cfgB.keyFor("af_5_k101", core.DistSWD, 16, 5) {
+		t.Error("run key does not distinguish cost models")
+	}
+	if cfgA.keyFor("af_5_k101", core.DistSWD, 16, 5) == cfgC.keyFor("af_5_k101", core.DistSWD, 16, 5) {
+		t.Error("run key does not distinguish fault plans")
+	}
+	setupMu.Lock()
+	before := len(sCache)
+	setupMu.Unlock()
+	for _, cfg := range []Config{cfgA, cfgB, cfgC} {
+		if _, err := runSuite(cfg, "af_5_k101", core.DistSWD, 16, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	setupMu.Lock()
+	after := len(sCache)
+	_, cellCached := sCache[setupKey{name: "af_5_k101", ranks: 16, seed: 1, local: dmem.LocalGS}]
+	setupMu.Unlock()
+	if !cellCached {
+		t.Error("model/fault variants did not populate the shared setup for their cell")
+	}
+	if after != before {
+		// The GS cell was cached up front (base); the three run variants
+		// must all have reused it rather than building new setups.
+		t.Errorf("model/fault variants grew the setup cache by %d, want 0", after-before)
+	}
+	runMu.Lock()
+	nRuns := len(runCache)
+	runMu.Unlock()
+	if nRuns != 3 {
+		t.Errorf("run cache holds %d entries, want 3", nRuns)
+	}
+}
+
+// TestSetupSharedAcrossMethodsNoMutation: every method and both engines run
+// concurrently off one LocalDirect setup; under -race this pins that no run
+// writes to shared setup state, and every result stays bit-identical to a
+// run that built its own setup privately.
+func TestSetupSharedAcrossMethodsNoMutation(t *testing.T) {
+	ResetCaches()
+	defer ResetCaches()
+	const name, ranks, steps = "af_5_k101", 24, 8
+	methods := []core.DistMethod{core.BlockJacobi, core.ParallelSWD, core.DistSWD}
+
+	// Private baselines: fresh setup per run, sequential engine.
+	baseline := map[core.DistMethod]*dmem.Result{}
+	for _, m := range methods {
+		ResetCaches()
+		r, err := runSuite(Config{Ranks: ranks, Seed: 1, Local: dmem.LocalDirect}, name, m, ranks, steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseline[m] = r
+	}
+
+	ResetCaches()
+	var wg sync.WaitGroup
+	results := make([]*dmem.Result, 2*len(methods))
+	errs := make([]error, 2*len(methods))
+	for i, m := range methods {
+		for j, cfg := range []Config{
+			{Ranks: ranks, Seed: 1, Local: dmem.LocalDirect},
+			{Ranks: ranks, Seed: 1, Local: dmem.LocalDirect, Goroutines: true, Sched: rma.SchedNeighbor},
+		} {
+			wg.Add(1)
+			go func(slot int, m core.DistMethod, cfg Config) {
+				defer wg.Done()
+				// Bypass the run cache's dedup by running the world directly:
+				// every goroutine must really solve, all off one shared setup.
+				setup, err := setupFor(name, ranks, cfg.seed(), cfg.Local)
+				if err != nil {
+					errs[slot] = err
+					return
+				}
+				b, x := problem.ZeroBSystem(setup.Layout.A, cfg.seed())
+				results[slot], errs[slot] = core.SolveDistributed(setup.Layout.A, b, x, core.DistOptions{
+					Method: m, Ranks: ranks, Steps: steps, Setup: setup,
+					Parallel: cfg.Goroutines, Sched: cfg.Sched, Local: cfg.Local,
+				})
+			}(2*i+j, m, cfg)
+		}
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("slot %d: %v", i, err)
+		}
+	}
+	for i, m := range methods {
+		for j := 0; j < 2; j++ {
+			got := results[2*i+j]
+			want := baseline[m]
+			if len(got.History) != len(want.History) {
+				t.Fatalf("%s engine %d: history length %d vs %d", m, j, len(got.History), len(want.History))
+			}
+			for s := range want.History {
+				if got.History[s] != want.History[s] {
+					t.Fatalf("%s engine %d: step %d differs", m, j, s)
+				}
+			}
+			for k := range want.X {
+				if got.X[k] != want.X[k] {
+					t.Fatalf("%s engine %d: solution differs at %d", m, j, k)
+				}
+			}
+		}
+	}
+}
+
+// TestPrefetchLogsCacheSkips: a second prefetch over the same jobs reports
+// every cell as cache-skipped in verbose output and runs nothing.
+func TestPrefetchLogsCacheSkips(t *testing.T) {
+	ResetCaches()
+	defer ResetCaches()
+	cfg := Config{Ranks: 16, Seed: 1, Par: 2}
+	jobs := suiteJobs([]string{"af_5_k101"}, []core.DistMethod{core.BlockJacobi, core.DistSWD}, []int{16}, 5)
+	if err := prefetch(cfg, jobs); err != nil {
+		t.Fatal(err)
+	}
+	var log bytes.Buffer
+	cfg.LogW = &log
+	if err := prefetch(cfg, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(log.String(), "cache skip"); n != len(jobs) {
+		t.Errorf("verbose log reported %d cache skips, want %d:\n%s", n, len(jobs), log.String())
+	}
+}

@@ -135,9 +135,22 @@ type DistOptions struct {
 	// Parallel runs simulated ranks on the persistent worker-pool engine
 	// (bit-identical results to the sequential engine).
 	Parallel bool
+	// Sched selects the pool engine's epoch discipline: rma.SchedBarrier
+	// (default, global barrier per phase) or rma.SchedNeighbor
+	// (per-neighborhood epoch completion, MPI PSCW-style; needs Parallel).
+	// Results are bit-identical either way.
+	Sched rma.Sched
 	// Part, when non-nil, is a caller-provided partition (length n, values
 	// in [0, Ranks)); otherwise the multilevel partitioner is used.
 	Part []int
+	// Setup, when non-nil, supplies the shared preprocessing of this
+	// (matrix, partition, local solver) — layout plus local factorizations
+	// (dmem.NewSetup) — so repeated runs skip partitioning and
+	// factorization. Its layout must have been built for a and Ranks with
+	// this exact Local mode; mismatches are rejected. When set, Part and
+	// PartSeed are ignored (the setup's layout already fixes the
+	// partition).
+	Setup *dmem.Setup
 	// Local selects the subdomain solver: dmem.LocalGS (default, one
 	// Gauss-Seidel sweep — the paper's setting) or dmem.LocalDirect (exact
 	// dense solve, the artifact's PARDISO option).
@@ -161,17 +174,33 @@ func SolveDistributed(a *sparse.CSR, b, x []float64, opt DistOptions) (*dmem.Res
 	if opt.Ranks <= 0 {
 		return nil, fmt.Errorf("core: Ranks = %d, want >= 1", opt.Ranks)
 	}
-	part := opt.Part
-	if part == nil {
-		part = partition.Partition(a, opt.Ranks, partition.Options{Seed: opt.PartSeed})
-	}
-	l, err := dmem.NewLayout(a, part, opt.Ranks)
-	if err != nil {
-		return nil, err
+	var l *dmem.Layout
+	if s := opt.Setup; s != nil {
+		if s.Layout.A != a {
+			return nil, fmt.Errorf("core: Setup was built for a different matrix")
+		}
+		if s.Layout.P != opt.Ranks {
+			return nil, fmt.Errorf("core: Setup has %d ranks, want %d", s.Layout.P, opt.Ranks)
+		}
+		if s.Local != opt.Local {
+			return nil, fmt.Errorf("core: Setup was built for local solver %v, want %v", s.Local, opt.Local)
+		}
+		l = s.Layout
+	} else {
+		part := opt.Part
+		if part == nil {
+			part = partition.Partition(a, opt.Ranks, partition.Options{Seed: opt.PartSeed})
+		}
+		var err error
+		l, err = dmem.NewLayout(a, part, opt.Ranks)
+		if err != nil {
+			return nil, err
+		}
 	}
 	cfg := dmem.Config{
 		Steps: opt.Steps, Target: opt.Target, Model: opt.Model,
-		Parallel: opt.Parallel, Local: opt.Local,
+		Parallel: opt.Parallel, Sched: opt.Sched, Setup: opt.Setup,
+		Local:  opt.Local,
 		Faults: opt.Faults, Watchdog: opt.Watchdog, Trace: opt.Trace,
 	}
 	switch opt.Method {

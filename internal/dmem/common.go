@@ -4,11 +4,9 @@ import (
 	"fmt"
 	"math"
 
-	"southwell/internal/dense"
 	"southwell/internal/obs"
 	"southwell/internal/parallel"
 	"southwell/internal/rma"
-	"southwell/internal/spdirect"
 )
 
 // LocalSolver selects how a rank relaxes its subdomain.
@@ -55,8 +53,20 @@ type Config struct {
 	// sequentially; results are bit-identical (see the engine-equivalence
 	// tests).
 	Parallel bool
+	// Sched selects the pool engine's epoch discipline: the default
+	// global barrier (rma.SchedBarrier) or per-neighborhood epoch
+	// completion (rma.SchedNeighbor, requires Parallel; the world's
+	// post/start groups are registered from the layout's coupling
+	// neighborships). Results are bit-identical either way.
+	Sched rma.Sched
 	// Local selects the subdomain solver (default LocalGS).
 	Local LocalSolver
+	// Setup, when non-nil, supplies the shared preprocessing (layout +
+	// local factorizations, see NewSetup) instead of rebuilding it in this
+	// run. Its Layout must be the layout the run is given and its Local
+	// mode must match Config.Local; runs only read the setup, so one value
+	// can serve concurrent runs.
+	Setup *Setup
 	// Faults, when non-nil, installs deterministic fault injection on the
 	// simulated world (rma.FaultPlan: delayed, duplicated, and reordered
 	// deliveries, stragglers, rank pauses). Nil is a perfect network. The
@@ -101,8 +111,23 @@ func (c Config) watchdogWindow() int {
 // model and engine, with the fault plan (if any) installed before the
 // first phase.
 func newWorld(l *Layout, cfg Config) *rma.World {
+	if s := cfg.Setup; s != nil {
+		if s.Layout != l {
+			panic("dmem: Config.Setup was built for a different layout")
+		}
+		if s.Local != cfg.Local {
+			panic(fmt.Sprintf("dmem: Config.Setup local solver %v does not match Config.Local %v", s.Local, cfg.Local))
+		}
+	}
 	w := rma.NewWorld(l.P, cfg.model())
 	w.Parallel = cfg.Parallel
+	w.Sched = cfg.Sched
+	if cfg.Sched == rma.SchedNeighbor {
+		// Register the PSCW post/start groups: every method's step-loop
+		// Puts go only to layout neighbors, so the coupling neighborships
+		// are exactly the access groups.
+		w.SetNeighborhoods(l.NeighborLists())
+	}
 	w.InstallFaults(cfg.Faults)
 	w.SetTracer(cfg.Trace)
 	return w
@@ -145,6 +170,10 @@ type Result struct {
 	Deadlocked   bool
 	DeadlockStep int
 	X            []float64 // gathered global solution
+	// SchedWaits is the neighborhood scheduler's wait diagnostic (counts,
+	// not seconds) — nil unless the run executed groups on
+	// rma.SchedNeighbor. Scheduling-dependent; never part of results.
+	SchedWaits *obs.WaitTally
 }
 
 // Final returns the last step record.
@@ -256,19 +285,6 @@ type localFactor interface {
 	SolveFlops() float64
 }
 
-// denseFactor adapts dense.LU to the localFactor contract with a held
-// scratch vector, so steady-state dense solves allocate nothing either.
-type denseFactor struct {
-	lu      *dense.LU
-	m       int
-	scratch []float64
-}
-
-func (d *denseFactor) Solve(b, x []float64) { d.lu.SolveWith(b, x, d.scratch) }
-
-// SolveFlops: two triangular sweeps of an m×m factor.
-func (d *denseFactor) SolveFlops() float64 { m := float64(d.m); return 2 * m * m }
-
 // relaxLocal dispatches to the configured local solver and returns the
 // flop count to charge.
 func (rs *rankState) relaxLocal() float64 {
@@ -297,26 +313,6 @@ func (rs *rankState) relaxDirect() float64 {
 		}
 	}
 	return rs.direct.SolveFlops() + float64(rd.NNZ) + float64(rd.M())
-}
-
-// factorLocalDense builds the dense LU of the local diagonal block —
-// LocalAuto's small-block path.
-func factorLocalDense(rd *RankData) (localFactor, error) {
-	m := rd.M()
-	dm := dense.NewMatrix(m)
-	for li := 0; li < m; li++ {
-		dm.Set(li, li, rd.Diag[li])
-		for k := rd.RowPtr[li]; k < rd.RowPtr[li+1]; k++ {
-			if !rd.IsExt[k] {
-				dm.Set(li, rd.ColLoc[k], rd.Val[k])
-			}
-		}
-	}
-	lu, err := dense.FactorLU(dm)
-	if err != nil {
-		return nil, err
-	}
-	return &denseFactor{lu: lu, m: m, scratch: make([]float64, m)}, nil
 }
 
 // localBlockCSR assembles rank rd's diagonal block A_pp as a standalone
@@ -353,27 +349,14 @@ func localBlockCSR(rd *RankData) (rowPtr, col []int, val []float64) {
 }
 
 // newLocalFactor factors one rank's diagonal block under the configured
-// policy. LocalDirect always takes the sparse LDLᵀ path. LocalAuto goes
-// dense for tiny blocks, then consults the (cheap, values-free) symbolic
-// analysis: if the predicted sparse solve cost 4·nnz(L)+m is no better
-// than the dense 2m², the fill has defeated the sparse format and dense
-// wins; otherwise the numeric factorization proceeds on the already-built
-// analysis. Either way the choice is a pure function of the block, never
-// of scheduling, so concurrent setup stays deterministic.
+// policy (see factorShared in setup.go for the dense/sparse decision) and
+// binds it to fresh per-run scratch.
 func newLocalFactor(rd *RankData, mode LocalSolver) (localFactor, error) {
-	m := rd.M()
-	if mode == LocalAuto && m <= autoDenseMax {
-		return factorLocalDense(rd)
-	}
-	rowPtr, col, val := localBlockCSR(rd)
-	sym, err := spdirect.Analyze(m, rowPtr, col, spdirect.Options{})
+	sf, err := factorShared(rd, mode)
 	if err != nil {
 		return nil, err
 	}
-	if mode == LocalAuto && sym.SolveFlops() >= 2*float64(m)*float64(m) {
-		return factorLocalDense(rd)
-	}
-	return sym.Factorize(val)
+	return bind(sf), nil
 }
 
 // newRankStates initializes per-rank state from a global initial guess,
@@ -544,6 +527,16 @@ func (rs *rankState) updateGhostAndGamma(j int) {
 // than limp on, with the lowest failing rank for determinism.
 func configureLocal(states []*rankState, cfg Config) {
 	if cfg.Local != LocalDirect && cfg.Local != LocalAuto {
+		return
+	}
+	if s := cfg.Setup; s != nil && s.factors != nil {
+		// Shared setup: the expensive factorizations already exist — each
+		// run just binds them to its own private scratch. The shared
+		// factors are read-only from here on.
+		for pr, rs := range states {
+			rs.direct = bind(s.factors[pr])
+			rs.dscratch = make([]float64, rs.rd.M())
+		}
 		return
 	}
 	p := len(states)
@@ -785,6 +778,7 @@ func (res *Result) deadlockAt(step int) {
 // finish fills the summary fields of a result.
 func finish(res *Result, l *Layout, w *rma.World, states []*rankState) {
 	res.Stats = w.Stats()
+	res.SchedWaits = w.WaitTally()
 	res.X = gatherX(l, states)
 	if steps := len(res.History) - 1; steps > 0 {
 		sum := 0.0

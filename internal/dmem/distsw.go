@@ -184,96 +184,100 @@ func distributedSouthwell(l *Layout, b, x []float64, cfg Config, opts DistSWOpti
 		for _, rs := range states {
 			rs.relaxed = false
 		}
-		// Phase 1: absorb any late deliveries; decide from estimates;
-		// relax; write updates.
-		w.RunPhase(func(p int) {
-			absorb(p)
-			rs := states[p]
-			wins := rs.norm > 0
-			for j, q := range rs.rd.Nbrs {
-				if !winsOver(rs.norm, p, rs.gamma[j], q) {
-					wins = false
-					break
-				}
-			}
-			w.Charge(p, float64(rs.rd.Degree()))
-			traceDecision(w, step, p, rs, wins)
-			if !wins {
-				return
-			}
-			rs.relaxed = true
-			rs.zeroExtDelta()
-			flops := rs.relaxLocal()
-			rs.norm = rs.computeNorm()
-			rs.lastSentNorm = rs.norm
-			w.Charge(p, flops+2*float64(rs.rd.M()))
-			for j, q := range rs.rd.Nbrs {
-				// Local, communication-free improvement of the estimate of
-				// q's norm using the ghost layer (skippable for ablation).
-				if opts.NoGhostEstimate {
-					for _, e := range rs.rd.BndExt[j] {
-						rs.z[e] += rs.extDelta[e]
+		// The step's three access epochs form one scheduler group: under
+		// rma.SchedNeighbor each rank advances phase to phase on its own
+		// neighborhood's progress alone.
+		w.RunPhases(
+			// Phase 1: absorb any late deliveries; decide from estimates;
+			// relax; write updates.
+			func(p int) {
+				absorb(p)
+				rs := states[p]
+				wins := rs.norm > 0
+				for j, q := range rs.rd.Nbrs {
+					if !winsOver(rs.norm, p, rs.gamma[j], q) {
+						wins = false
+						break
 					}
-				} else {
-					rs.updateGhostAndGamma(j)
 				}
-				w.Charge(p, 2*float64(len(rs.rd.BndExt[j])))
-				rs.gammaTilde[j] = rs.norm
-				rs.sentTo[j] = true
-				pl := &solvePl[p][j]
-				pl.deltas = rs.deltasFor(j)
-				pl.bnd = rs.boundaryResiduals(j)
-				pl.norm = rs.norm
-				pl.estRecv = rs.gamma[j]
-				pl.seq = 2 * int64(step)
-				rs.sentBnd[j] = pl.bnd
-				w.Put(p, q, rma.TagSolve, msgBytes(len(pl.deltas)+len(pl.bnd)+2), pl)
-			}
-		})
-		// Phase 2: absorb writes; detect deadlock risk; write explicit
-		// residual updates where needed.
-		w.RunPhase(func(p int) {
-			absorb(p)
-			rs := states[p]
-			for j := range rs.sentTo {
-				rs.sentTo[j] = false
-			}
-			// Starvation re-announce (fault injection only): delayed or
-			// crossing messages can desync the Γ̃ mirror arithmetic from the
-			// neighbor's actual estimate, and a mutual overestimate cycle
-			// would then stall forever — the fault-free §2.4 proof assumes
-			// faithful tracking. A rank that has neither relaxed nor
-			// received anything for half the watchdog patience re-sends its
-			// exact residual state to every neighbor, making the estimates
-			// exact again, so Distributed Southwell stays deadlock-free on
-			// any eventually-quiescent network.
-			refresh := chaotic && rs.starved >= refreshAfter
-			if refresh {
-				rs.starved = 0
-			}
-			// Deadlock-risk detection (Algorithm 3, lines 27-30).
-			for j, q := range rs.rd.Nbrs {
-				if refresh || rs.gammaTilde[j] > rs.norm*(1+opts.UpdateSlack) {
-					traceResSend(w, step, p, q, rs.gammaTilde[j], rs, refresh)
+				w.Charge(p, float64(rs.rd.Degree()))
+				traceDecision(w, step, p, rs, wins)
+				if !wins {
+					return
+				}
+				rs.relaxed = true
+				rs.zeroExtDelta()
+				flops := rs.relaxLocal()
+				rs.norm = rs.computeNorm()
+				rs.lastSentNorm = rs.norm
+				w.Charge(p, flops+2*float64(rs.rd.M()))
+				for j, q := range rs.rd.Nbrs {
+					// Local, communication-free improvement of the estimate of
+					// q's norm using the ghost layer (skippable for ablation).
+					if opts.NoGhostEstimate {
+						for _, e := range rs.rd.BndExt[j] {
+							rs.z[e] += rs.extDelta[e]
+						}
+					} else {
+						rs.updateGhostAndGamma(j)
+					}
+					w.Charge(p, 2*float64(len(rs.rd.BndExt[j])))
 					rs.gammaTilde[j] = rs.norm
 					rs.sentTo[j] = true
-					pl := &resPl[p][j]
-					pl.bnd = rs.resBoundaryResiduals(j)
+					pl := &solvePl[p][j]
+					pl.deltas = rs.deltasFor(j)
+					pl.bnd = rs.boundaryResiduals(j)
 					pl.norm = rs.norm
 					pl.estRecv = rs.gamma[j]
-					pl.seq = 2*int64(step) + 1
-					w.Put(p, q, rma.TagResidual, msgBytes(len(pl.bnd)+2), pl)
+					pl.seq = 2 * int64(step)
+					rs.sentBnd[j] = pl.bnd
+					w.Put(p, q, rma.TagSolve, msgBytes(len(pl.deltas)+len(pl.bnd)+2), pl)
 				}
-			}
-		})
-		// Phase 3: absorb explicit updates.
-		w.RunPhase(func(p int) {
-			absorb(p)
-			rs := states[p]
-			for j := range rs.sentTo {
-				rs.sentTo[j] = false
-			}
-		})
+			},
+			// Phase 2: absorb writes; detect deadlock risk; write explicit
+			// residual updates where needed.
+			func(p int) {
+				absorb(p)
+				rs := states[p]
+				for j := range rs.sentTo {
+					rs.sentTo[j] = false
+				}
+				// Starvation re-announce (fault injection only): delayed or
+				// crossing messages can desync the Γ̃ mirror arithmetic from the
+				// neighbor's actual estimate, and a mutual overestimate cycle
+				// would then stall forever — the fault-free §2.4 proof assumes
+				// faithful tracking. A rank that has neither relaxed nor
+				// received anything for half the watchdog patience re-sends its
+				// exact residual state to every neighbor, making the estimates
+				// exact again, so Distributed Southwell stays deadlock-free on
+				// any eventually-quiescent network.
+				refresh := chaotic && rs.starved >= refreshAfter
+				if refresh {
+					rs.starved = 0
+				}
+				// Deadlock-risk detection (Algorithm 3, lines 27-30).
+				for j, q := range rs.rd.Nbrs {
+					if refresh || rs.gammaTilde[j] > rs.norm*(1+opts.UpdateSlack) {
+						traceResSend(w, step, p, q, rs.gammaTilde[j], rs, refresh)
+						rs.gammaTilde[j] = rs.norm
+						rs.sentTo[j] = true
+						pl := &resPl[p][j]
+						pl.bnd = rs.resBoundaryResiduals(j)
+						pl.norm = rs.norm
+						pl.estRecv = rs.gamma[j]
+						pl.seq = 2*int64(step) + 1
+						w.Put(p, q, rma.TagResidual, msgBytes(len(pl.bnd)+2), pl)
+					}
+				}
+			},
+			// Phase 3: absorb explicit updates.
+			func(p int) {
+				absorb(p)
+				rs := states[p]
+				for j := range rs.sentTo {
+					rs.sentTo[j] = false
+				}
+			})
 		for p := range states {
 			if states[p].relaxed {
 				relaxedRanks++

@@ -103,56 +103,58 @@ func ParallelSouthwell(l *Layout, b, x []float64, cfg Config) *Result {
 		for _, rs := range states {
 			rs.relaxed = false
 		}
-		// Phase 1: absorb late deliveries; decide and relax.
-		w.RunPhase(func(p int) {
-			absorb(p)
-			rs := states[p]
-			wins := rs.norm > 0
-			for j, q := range rs.rd.Nbrs {
-				if !winsOver(rs.norm, p, rs.gamma[j], q) {
-					wins = false
-					break
+		// One scheduler group per step (see blockjacobi.go).
+		w.RunPhases(
+			// Phase 1: absorb late deliveries; decide and relax.
+			func(p int) {
+				absorb(p)
+				rs := states[p]
+				wins := rs.norm > 0
+				for j, q := range rs.rd.Nbrs {
+					if !winsOver(rs.norm, p, rs.gamma[j], q) {
+						wins = false
+						break
+					}
 				}
-			}
-			w.Charge(p, float64(rs.rd.Degree()))
-			traceDecision(w, step, p, rs, wins)
-			if !wins {
-				return
-			}
-			rs.relaxed = true
-			rs.zeroExtDelta()
-			flops := rs.relaxLocal()
-			rs.norm = rs.computeNorm()
-			rs.lastTold = rs.norm
-			w.Charge(p, flops+2*float64(rs.rd.M()))
-			for j, q := range rs.rd.Nbrs {
-				pl := &solvePl[p][j]
-				pl.deltas = rs.deltasFor(j)
-				pl.norm = rs.norm
-				pl.seq = 2 * int64(step)
-				w.Put(p, q, rma.TagSolve, msgBytes(len(pl.deltas)+1), pl)
-			}
-		})
-		// Phase 2: absorb writes; announce changed norms.
-		w.RunPhase(func(p int) {
-			absorb(p)
-			rs := states[p]
-			// Bit-exact by design: any change at all to the norm since the
-			// last announcement must be broadcast (Algorithm 2, line 20) —
-			// a tolerance here would let stale Γ entries persist.
-			if rs.norm != rs.lastTold { //dslint:ignore floatcmp
-
-				traceResSend(w, step, p, -1, rs.lastTold, rs, false)
+				w.Charge(p, float64(rs.rd.Degree()))
+				traceDecision(w, step, p, rs, wins)
+				if !wins {
+					return
+				}
+				rs.relaxed = true
+				rs.zeroExtDelta()
+				flops := rs.relaxLocal()
+				rs.norm = rs.computeNorm()
 				rs.lastTold = rs.norm
-				resPl[p].norm = rs.norm
-				resPl[p].seq = 2*int64(step) + 1
-				for _, q := range rs.rd.Nbrs {
-					w.Put(p, q, rma.TagResidual, msgBytes(1), &resPl[p])
+				w.Charge(p, flops+2*float64(rs.rd.M()))
+				for j, q := range rs.rd.Nbrs {
+					pl := &solvePl[p][j]
+					pl.deltas = rs.deltasFor(j)
+					pl.norm = rs.norm
+					pl.seq = 2 * int64(step)
+					w.Put(p, q, rma.TagSolve, msgBytes(len(pl.deltas)+1), pl)
 				}
-			}
-		})
-		// Phase 3: absorb explicit updates.
-		w.RunPhase(absorb)
+			},
+			// Phase 2: absorb writes; announce changed norms.
+			func(p int) {
+				absorb(p)
+				rs := states[p]
+				// Bit-exact by design: any change at all to the norm since the
+				// last announcement must be broadcast (Algorithm 2, line 20) —
+				// a tolerance here would let stale Γ entries persist.
+				if rs.norm != rs.lastTold { //dslint:ignore floatcmp
+
+					traceResSend(w, step, p, -1, rs.lastTold, rs, false)
+					rs.lastTold = rs.norm
+					resPl[p].norm = rs.norm
+					resPl[p].seq = 2*int64(step) + 1
+					for _, q := range rs.rd.Nbrs {
+						w.Put(p, q, rma.TagResidual, msgBytes(1), &resPl[p])
+					}
+				}
+			},
+			// Phase 3: absorb explicit updates.
+			absorb)
 		for p := range states {
 			if states[p].relaxed {
 				relaxedRanks++

@@ -1,0 +1,181 @@
+package dmem
+
+// Reusable run setup: the (matrix, partition, local-solver) preprocessing
+// — layout construction and per-rank local factorizations — hoisted out of
+// the individual runs so that table drivers (internal/bench) can pay for
+// it once per (matrix, P) and share it immutably across every method,
+// engine, and fault-plan cell. At paper scale (P = 4096/8192) the setup
+// dominates host wall-clock when repeated per cell; shared, it is paid
+// once.
+//
+// Sharing is safe by construction: a Setup holds only data that runs read.
+// The Layout is already immutable after NewLayout; the factorizations are
+// exposed through SharedFactor, whose SolveInto takes caller-owned scratch
+// — each run binds the shared factor to private buffers (boundFactor), so
+// concurrent runs never touch shared mutable state. The setup-cache tests
+// pin this under -race.
+
+import (
+	"fmt"
+
+	"southwell/internal/dense"
+	"southwell/internal/parallel"
+	"southwell/internal/spdirect"
+)
+
+// SharedFactor is an immutable factored local diagonal block, safe for
+// concurrent solves: SolveInto writes x = A_pp⁻¹ b using caller-owned
+// scratch of length ScratchLen, reading — never writing — the
+// factorization itself. SolveFlops is the per-solve flop count charged to
+// the α-β-γ cost model.
+type SharedFactor interface {
+	SolveInto(b, x, scratch []float64)
+	SolveFlops() float64
+	ScratchLen() int
+}
+
+// ldlShared adapts the sparse LDLᵀ backend: spdirect.Factor.SolveWith
+// reads only the factor arrays, so one Factor serves any number of
+// concurrent callers with private scratch.
+type ldlShared struct {
+	f *spdirect.Factor
+	n int
+}
+
+func (s *ldlShared) SolveInto(b, x, scratch []float64) { s.f.SolveWith(b, x, scratch) }
+func (s *ldlShared) SolveFlops() float64               { return s.f.SolveFlops() }
+func (s *ldlShared) ScratchLen() int                   { return s.n }
+
+// denseShared adapts the dense LU backend the same way.
+type denseShared struct {
+	lu *dense.LU
+	m  int
+}
+
+func (s *denseShared) SolveInto(b, x, scratch []float64) { s.lu.SolveWith(b, x, scratch) }
+
+// SolveFlops: two triangular sweeps of an m×m factor.
+func (s *denseShared) SolveFlops() float64 { m := float64(s.m); return 2 * m * m }
+func (s *denseShared) ScratchLen() int     { return s.m }
+
+// boundFactor binds a SharedFactor to one run's private scratch,
+// satisfying the per-run localFactor contract.
+type boundFactor struct {
+	sf      SharedFactor
+	scratch []float64
+}
+
+func (b *boundFactor) Solve(rhs, x []float64) { b.sf.SolveInto(rhs, x, b.scratch) }
+func (b *boundFactor) SolveFlops() float64    { return b.sf.SolveFlops() }
+
+// bind wraps a shared factor with fresh private scratch for one run.
+func bind(sf SharedFactor) localFactor {
+	return &boundFactor{sf: sf, scratch: make([]float64, sf.ScratchLen())}
+}
+
+// factorShared factors one rank's diagonal block under the configured
+// policy, returning the shareable form. Policy identical to what
+// newLocalFactor always did: LocalDirect takes the sparse LDLᵀ path;
+// LocalAuto goes dense for tiny blocks, then consults the symbolic fill
+// estimate. The choice is a pure function of the block, never of
+// scheduling.
+func factorShared(rd *RankData, mode LocalSolver) (SharedFactor, error) {
+	m := rd.M()
+	if mode == LocalAuto && m <= autoDenseMax {
+		return factorSharedDense(rd)
+	}
+	rowPtr, col, val := localBlockCSR(rd)
+	sym, err := spdirect.Analyze(m, rowPtr, col, spdirect.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if mode == LocalAuto && sym.SolveFlops() >= 2*float64(m)*float64(m) {
+		return factorSharedDense(rd)
+	}
+	f, err := sym.Factorize(val)
+	if err != nil {
+		return nil, err
+	}
+	return &ldlShared{f: f, n: m}, nil
+}
+
+// factorSharedDense builds the dense LU of the local diagonal block —
+// LocalAuto's small-block path.
+func factorSharedDense(rd *RankData) (SharedFactor, error) {
+	m := rd.M()
+	dm := dense.NewMatrix(m)
+	for li := 0; li < m; li++ {
+		dm.Set(li, li, rd.Diag[li])
+		for k := rd.RowPtr[li]; k < rd.RowPtr[li+1]; k++ {
+			if !rd.IsExt[k] {
+				dm.Set(li, rd.ColLoc[k], rd.Val[k])
+			}
+		}
+	}
+	lu, err := dense.FactorLU(dm)
+	if err != nil {
+		return nil, err
+	}
+	return &denseShared{lu: lu, m: m}, nil
+}
+
+// factorAll factors every rank's diagonal block concurrently on the shared
+// kernel pool. Each rank's factor is a pure sequential function of its own
+// block written to its own slot, so worker count never influences a bit of
+// the result; the lowest failing rank wins error reporting for
+// determinism.
+func factorAll(l *Layout, mode LocalSolver) ([]SharedFactor, error) {
+	p := l.P
+	factors := make([]SharedFactor, p)
+	errs := make([]error, p)
+	nb := rankBlockCount(p)
+	blocks := parallel.SplitN(p, nb, make([]parallel.Range, 0, nb))
+	var task parallel.Task
+	task.F = func(b int) {
+		for pr := blocks[b].Lo; pr < blocks[b].Hi; pr++ {
+			factors[pr], errs[pr] = factorShared(l.Ranks[pr], mode)
+		}
+	}
+	parallel.Default().Run(&task, nb)
+	for pr, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("dmem: local block of rank %d not factorizable: %w", pr, err)
+		}
+	}
+	return factors, nil
+}
+
+// Setup is the immutable preprocessing of (layout, local-solver mode):
+// the layout plus, for the exact local solvers, every rank's shared
+// factorization. Build once with NewSetup, then hand the same *Setup to
+// any number of runs (Config.Setup) — including concurrent ones: runs only
+// read it.
+type Setup struct {
+	Layout *Layout
+	Local  LocalSolver
+
+	factors []SharedFactor // nil for LocalGS
+}
+
+// NewSetup builds the reusable setup for the given layout and local-solver
+// mode, factoring all ranks in parallel for LocalDirect/LocalAuto.
+func NewSetup(l *Layout, mode LocalSolver) (*Setup, error) {
+	s := &Setup{Layout: l, Local: mode}
+	if mode == LocalDirect || mode == LocalAuto {
+		factors, err := factorAll(l, mode)
+		if err != nil {
+			return nil, err
+		}
+		s.factors = factors
+	}
+	return s, nil
+}
+
+// Factor returns rank p's shared factorization (nil for LocalGS), mainly
+// for the setup-cache tests.
+func (s *Setup) Factor(p int) SharedFactor {
+	if s.factors == nil {
+		return nil
+	}
+	return s.factors[p]
+}

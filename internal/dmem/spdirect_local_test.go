@@ -153,10 +153,11 @@ func TestSparseLocalMatchesDenseOnSuiteBlocks(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s rank %d: sparse factorization failed: %v", name, p, err)
 			}
-			denseF, err := factorLocalDense(rd)
+			denseSF, err := factorSharedDense(rd)
 			if err != nil {
 				t.Fatalf("%s rank %d: dense factorization failed: %v", name, p, err)
 			}
+			denseF := bind(denseSF)
 			m := rd.M()
 			b := make([]float64, m)
 			for i := range b {

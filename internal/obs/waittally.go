@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WaitTally summarizes where the neighborhood-epoch scheduler (rma
+// SchedNeighbor) waited: per-rank counts of window assemblies that found a
+// neighbor's epoch not yet published, and how often workers parked
+// altogether. These are *counts*, never seconds — the runtime is
+// wall-clock-free by policy (simulated time comes only from the α-β-γ
+// model), and wait counts are scheduling diagnostics, not results: two
+// bit-identical runs may tally different waits depending on how the host
+// schedules the workers.
+type WaitTally struct {
+	// Groups is the number of RunPhases groups executed on the
+	// neighborhood scheduler.
+	Groups int64
+	// Parks counts worker park events: a worker found no runnable rank in
+	// its chunk and blocked on a neighbor's epoch advance.
+	Parks int64
+	// Blocked[p] counts rank p's failed assembly attempts: boundary checks
+	// that found at least one neighbor not yet done. High counts localize
+	// which neighborhoods pace the run (a straggler's neighbors dominate).
+	Blocked []int64
+}
+
+// TotalBlocked sums the per-rank blocked counts.
+func (t *WaitTally) TotalBlocked() int64 {
+	var n int64
+	for _, b := range t.Blocked {
+		n += b
+	}
+	return n
+}
+
+// WriteSummary writes a short human-readable digest: totals plus the most
+// frequently blocked ranks (the straggler neighborhoods), in deterministic
+// order (count desc, rank asc).
+func (t *WaitTally) WriteSummary(w io.Writer, topN int) error {
+	if _, err := fmt.Fprintf(w, "sched waits: %d groups, %d parks, %d blocked assemblies\n",
+		t.Groups, t.Parks, t.TotalBlocked()); err != nil {
+		return err
+	}
+	type rankCount struct {
+		rank int
+		n    int64
+	}
+	top := make([]rankCount, 0, len(t.Blocked))
+	for p, n := range t.Blocked {
+		if n > 0 {
+			top = append(top, rankCount{p, n})
+		}
+	}
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].n != top[j].n {
+			return top[i].n > top[j].n
+		}
+		return top[i].rank < top[j].rank
+	})
+	if topN > 0 && len(top) > topN {
+		top = top[:topN]
+	}
+	for _, rc := range top {
+		if _, err := fmt.Fprintf(w, "  rank %4d blocked %d\n", rc.rank, rc.n); err != nil {
+			return err
+		}
+	}
+	return nil
+}

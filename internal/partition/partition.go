@@ -114,6 +114,17 @@ func Partition(a *sparse.CSR, k int, opts Options) []int {
 	if k == 1 {
 		return part
 	}
+	if k >= a.N {
+		// At least as many parts as rows: the multilevel scheme cannot give
+		// every part a vertex, and its recursion would strand arbitrary
+		// parts empty. Deterministic degenerate answer instead: row i →
+		// part i. For k > a.N parts a.N..k-1 necessarily stay empty;
+		// Validate reports them to callers that require k non-empty parts.
+		for i := range part {
+			part[i] = i
+		}
+		return part
+	}
 	g := graphFromCSR(a)
 	verts := make([]int, g.n)
 	for i := range verts {
@@ -121,7 +132,54 @@ func Partition(a *sparse.CSR, k int, opts Options) []int {
 	}
 	rng := opts.rng()
 	recursiveBisect(g, verts, k, 0, part, opts, rng)
+	repairEmpty(part, k)
 	return part
+}
+
+// repairEmpty reassigns rows so that no part in [0, k) is empty. At high
+// part counts (parts approaching rows) recursive bisection can hand a
+// subset fewer vertices than its part budget and strand parts without any
+// row; the layout layer rejects such partitions outright. Repair is
+// deterministic: empty parts are filled in ascending id order, each taking
+// the highest-index row of the currently largest part that still has more
+// than one row (ties broken toward the lowest donor id). A no-op on
+// partitions with no empty parts, so moderate-k results are unchanged.
+func repairEmpty(part []int, k int) {
+	sizes := make([]int, k)
+	for _, p := range part {
+		sizes[p]++
+	}
+	var empties []int
+	for p, sz := range sizes {
+		if sz == 0 {
+			empties = append(empties, p)
+		}
+	}
+	if len(empties) == 0 {
+		return
+	}
+	// Rows of each part in ascending index order; the donor pops its tail.
+	rows := make([][]int, k)
+	for i, p := range part {
+		rows[p] = append(rows[p], i)
+	}
+	for _, e := range empties {
+		donor, best := -1, 1
+		for p, sz := range sizes {
+			if sz > best {
+				donor, best = p, sz
+			}
+		}
+		if donor < 0 {
+			return // fewer rows than parts: not repairable (k >= n is handled above)
+		}
+		r := rows[donor][len(rows[donor])-1]
+		rows[donor] = rows[donor][:len(rows[donor])-1]
+		sizes[donor]--
+		part[r] = e
+		sizes[e] = 1
+		rows[e] = append(rows[e], r)
+	}
 }
 
 // recursiveBisect partitions the subgraph induced by verts into k parts

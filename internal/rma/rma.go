@@ -46,6 +46,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"southwell/internal/obs"
 )
@@ -102,6 +103,11 @@ type World struct {
 	P        int
 	Model    CostModel
 	Parallel bool // run phases on the persistent worker pool
+	// Sched selects the epoch-completion discipline for RunPhases groups:
+	// SchedBarrier (default, MPI_Win_fence-like global barrier) or
+	// SchedNeighbor (PSCW-like per-neighborhood completion; requires
+	// SetNeighborhoods and Parallel — see sched.go).
+	Sched Sched
 
 	inbox  [][]Message // readable this phase
 	staged [][]Message // staged[from]: puts issued this phase
@@ -139,11 +145,28 @@ type World struct {
 	// owns a contiguous chunk of ranks and blocks on its own work channel;
 	// RunPhase broadcasts the phase function and waits on the barrier.
 	poolOnce  sync.Once
-	workers   []chan func(int)
+	workers   []chan phaseWork
 	barrier   sync.WaitGroup
 	stop      chan struct{}
 	closeOnce sync.Once
-	closed    bool
+	// closed is atomic because Close may run concurrently with workers
+	// parked inside an in-flight neighborhood group (the release path of
+	// Close under SchedNeighbor); Put/RunPhase read it on every call.
+	closed atomic.Bool
+
+	// Neighborhood scheduler (sched.go), nil until SetNeighborhoods.
+	nb       *nbState
+	nbActive bool            // a neighborhood group is executing: Put routes to nbPut
+	nbNotify []chan struct{} // per-worker wakeup slots (cap 1)
+	nbParks  []int64         // per-worker park counts (wait tally)
+}
+
+// phaseWork is one unit broadcast to the worker pool: either a single
+// barrier-synchronized phase function f, or a whole neighborhood-epoch
+// group g (exactly one of the two is set).
+type phaseWork struct {
+	f func(int)
+	g *nbGroup
 }
 
 // NewWorld creates a world of p ranks with the given cost model.
@@ -170,11 +193,15 @@ func NewWorld(p int, model CostModel) *World {
 //
 //dslint:hotpath
 func (w *World) Put(from, to int, tag Tag, bytes int, payload any) {
-	if w.closed {
+	if w.closed.Load() {
 		panic(ErrClosed)
 	}
 	if to < 0 || to >= w.P {
 		panic(fmt.Sprintf("rma: Put target %d out of range (P=%d)", to, w.P))
+	}
+	if w.nbActive {
+		w.nbPut(from, to, tag, bytes, payload)
+		return
 	}
 	w.staged[from] = append(w.staged[from], Message{From: from, To: to, Tag: tag, Bytes: bytes, Payload: payload}) //dslint:ignore hotalloc staging buffers keep their capacity across phases (deliver resets to st[:0])
 	w.msgs[from]++
@@ -236,7 +263,7 @@ func (w *World) PhaseIndex() int64 { return w.phases }
 //
 //dslint:hotpath
 func (w *World) RunPhase(f func(rank int)) {
-	if w.closed {
+	if w.closed.Load() {
 		panic(ErrClosed)
 	}
 	if ch := w.chaos; ch != nil && ch.markPaused(w.phases) {
@@ -251,11 +278,28 @@ func (w *World) RunPhase(f func(rank int)) {
 			}
 		}
 	}
+	if ch := w.chaos; ch != nil && (ch.plan.SpinStragglers || ch.plan.HostDelay != nil) {
+		// Host-side straggling: burn real CPU and/or block on the slowed
+		// rank's worker in proportion to the extra simulated cost, so
+		// wall-clock studies see the stall the cost model charges. Paused
+		// ranks did not run, so they do not straggle (matching nbRunPhase).
+		// Results are unaffected.
+		inner := f
+		phase := w.phases
+		//dslint:ignore hotalloc chaos wrapper closure, built only under an installed fault plan
+		f = func(p int) {
+			inner(p)
+			if ch.pausedNow[p] {
+				return
+			}
+			ch.hostStraggle(p, phase, w.flops[p])
+		}
+	}
 	if w.Parallel && w.P > 1 {
 		w.poolOnce.Do(w.startPool) //dslint:ignore hotalloc method value for one-time pool start; Once skips it on every later phase
 		w.barrier.Add(len(w.workers))
 		for _, ch := range w.workers {
-			ch <- f
+			ch <- phaseWork{f: f}
 		}
 		w.barrier.Wait()
 	} else {
@@ -266,13 +310,18 @@ func (w *World) RunPhase(f func(rank int)) {
 	w.deliver()
 }
 
-// startPool creates the persistent workers: at most GOMAXPROCS goroutines,
-// each owning a contiguous chunk of ranks for its lifetime. Workers survive
-// across phases (and across solver steps) until Close.
+// startPool creates the persistent workers: at most GOMAXPROCS goroutines
+// (or exactly FaultPlan.HostWorkers when the installed plan requests pool
+// over-subscription for blocking host delays), each owning a contiguous
+// chunk of ranks for its lifetime. Workers survive across phases (and
+// across solver steps) until Close.
 //
 //dslint:ignore hotalloc one-time worker-pool construction behind poolOnce
 func (w *World) startPool() {
 	n := runtime.GOMAXPROCS(0)
+	if ch := w.chaos; ch != nil && ch.plan.HostWorkers > 0 {
+		n = ch.plan.HostWorkers
+	}
 	if n > w.P {
 		n = w.P
 	}
@@ -283,32 +332,63 @@ func (w *World) startPool() {
 		if hi > w.P {
 			hi = w.P
 		}
-		ch := make(chan func(int), 1)
+		id := len(w.workers)
+		ch := make(chan phaseWork, 1)
 		w.workers = append(w.workers, ch)
-		go func(lo, hi int, ch <-chan func(int)) {
+		w.nbNotify = append(w.nbNotify, make(chan struct{}, 1))
+		w.nbParks = append(w.nbParks, 0)
+		go func(id, lo, hi int, ch <-chan phaseWork) {
 			for {
 				select {
-				case f := <-ch:
-					for p := lo; p < hi; p++ {
-						f(p)
+				case pw := <-ch:
+					if pw.g != nil {
+						stopped := w.nbRunChunk(id, lo, hi, pw.g)
+						w.barrier.Done()
+						if stopped {
+							w.drainWorker(ch)
+							return
+						}
+					} else {
+						for p := lo; p < hi; p++ {
+							pw.f(p)
+						}
+						w.barrier.Done()
 					}
-					w.barrier.Done()
 				case <-w.stop:
+					w.drainWorker(ch)
 					return
 				}
 			}
-		}(lo, hi, ch)
+		}(id, lo, hi, ch)
+	}
+}
+
+// drainWorker consumes any work broadcast concurrently with Close and
+// signals the barrier for it, so a driver racing Close on its way into a
+// phase blocks on barrier.Wait only until the drain — and then observes
+// closed and panics with ErrClosed instead of hanging.
+func (w *World) drainWorker(ch <-chan phaseWork) {
+	for {
+		select {
+		case <-ch:
+			w.barrier.Done()
+		default:
+			return
+		}
 	}
 }
 
 // Close releases the worker pool. It is safe to call multiple times and on
 // worlds that never ran a parallel phase. Close must not race with
-// RunPhase: call it only after the last phase has returned. After Close,
-// Put and RunPhase panic with ErrClosed instead of hanging on the released
+// RunPhase; under SchedNeighbor it additionally may be called (once the
+// pool exists) while a RunPhases group is in flight: workers parked on
+// neighborhood waits are released, every worker exits, and the blocked
+// RunPhases call panics with ErrClosed. After Close, Put, RunPhase, and
+// RunPhases panic with ErrClosed instead of hanging on the released
 // workers.
 func (w *World) Close() {
 	w.closeOnce.Do(func() {
-		w.closed = true
+		w.closed.Store(true)
 		if w.stop != nil {
 			close(w.stop)
 		}
@@ -409,7 +489,7 @@ func (w *World) deliver() {
 		hb := float64(w.bytes[p] + w.recvBytes[p])
 		cost := w.Model.Gamma*w.flops[p] + w.Model.Alpha*h + w.Model.Beta*hb
 		if ch != nil {
-			cost *= ch.slow[p]
+			cost *= ch.slowAt(p, w.phases)
 		}
 		if cost > maxCost {
 			maxCost = cost
@@ -426,7 +506,7 @@ func (w *World) deliver() {
 			// maximum is the SimTime winner.
 			mult := 1.0
 			if ch != nil {
-				mult = ch.slow[p]
+				mult = ch.slowAt(p, w.phases-1)
 			}
 			fc := w.Model.Gamma * w.flops[p] * mult
 			mc := w.Model.Alpha * float64(w.msgs[p]+w.recvMsgs[p]) * mult

@@ -310,9 +310,18 @@ func (f *Factor) Refactor(val []float64) error {
 //
 //dslint:hotpath
 func (f *Factor) Solve(b, x []float64) {
+	f.SolveWith(b, x, f.y)
+}
+
+// SolveWith is Solve with caller-provided scratch y (length ≥ n), making
+// one immutable Factor usable from concurrent solves as long as each
+// caller owns its y: the factorization arrays (Perm, Lp, Li, Lx, D) are
+// only read. b is not modified; x may alias b.
+//
+//dslint:hotpath
+func (f *Factor) SolveWith(b, x, y []float64) {
 	s := f.sym
 	n := s.N
-	y := f.y
 	for k := 0; k < n; k++ {
 		y[k] = b[s.Perm[k]]
 	}
