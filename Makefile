@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint lint-fix lint-cache-check race chaos-smoke bench-kernels bench-ldl bench-obs bench-scale verify bench clean
+.PHONY: build test vet lint lint-fix lint-cache-check race chaos-smoke bench-kernels bench-ldl bench-obs bench-scale bench-active verify bench clean
 
 build:
 	$(GO) build ./...
@@ -90,7 +90,15 @@ bench-scale:
 	$(GO) test -run 'TestScaleAllocGate' ./internal/rma/
 	$(GO) test -bench 'BenchmarkScalePhases' -benchtime 1x -run '^$$' ./internal/rma/ >/dev/null
 
-verify: build lint test race chaos-smoke bench-kernels bench-ldl bench-obs bench-scale
+# Active-set smoke: the allocs/op regression gate against BENCH_active.json
+# (one RunPhaseActive over a warmed world must stay allocation-free in
+# steady state on both engines — the discipline that lets paper-scale DS
+# runs step in O(active work)) plus one iteration of the active benchmark.
+bench-active:
+	$(GO) test -run 'TestActiveAllocGate' ./internal/rma/
+	$(GO) test -bench 'BenchmarkActivePhases' -benchtime 1x -run '^$$' ./internal/rma/ >/dev/null
+
+verify: build lint test race chaos-smoke bench-kernels bench-ldl bench-obs bench-scale bench-active
 
 # Micro-benchmarks for the phase engine, message path, numerical kernels,
 # and sparse local solver (see BENCH_rma.json, BENCH_kernels.json, and

@@ -3,11 +3,15 @@ package main
 // The paper-scale scaling study (results/scaling.txt): host wall-clock,
 // simulated time, message counts, and peak RSS for BJ/PS/DS at
 // P ∈ {256, 1024, 4096, 8192} simulated ranks on the neighborhood-epoch
-// pool engine, plus a straggler experiment where the neighborhood scheduler
-// must beat the global-barrier engine on host wall-clock. Wall-clock and
-// /proc reads are deliberately confined to this command: internal/bench is
-// a deterministic package (dslint walltime policy) and must stay free of
-// host-time reads.
+// pool engine, with dense-vs-active host-time columns on the barrier
+// engine (every rung audits active against dense for bit-identity); a
+// point-load experiment where the active-set engine must deliver its
+// headline wall-clock win (the classic Southwell setting — residual zero
+// away from the load — drains the active set to a wavefront); and a
+// straggler experiment where the neighborhood scheduler must beat the
+// global-barrier engine on host wall-clock. Wall-clock and /proc reads are
+// deliberately confined to this command: internal/bench is a deterministic
+// package (dslint walltime policy) and must stay free of host-time reads.
 
 import (
 	"fmt"
@@ -56,10 +60,14 @@ func runScaling(w io.Writer, cfg bench.Config) error {
 	a := ent.Build()
 
 	fmt.Fprintf(w, "# Scaling study: %s (n=%d, nnz=%d), %d steps/run, seed %d\n", matName, a.N, a.NNZ(), steps, seed)
-	fmt.Fprintf(w, "# engine: worker-pool + neighborhood-epoch scheduler (rma.SchedNeighbor)\n")
+	fmt.Fprintf(w, "# engine: worker-pool; nbr(ms) = neighborhood-epoch scheduler (rma.SchedNeighbor),\n")
+	fmt.Fprintf(w, "# dense/active(ms) = barrier engine with -active off/on. Every rung audits all three\n")
+	fmt.Fprintf(w, "# runs for bit-identity. Uniform random x0 keeps most ranks relaxing or fielding mail,\n")
+	fmt.Fprintf(w, "# so the active set stays nearly full here — see the point-load experiment below for\n")
+	fmt.Fprintf(w, "# the regime active-set stepping is built for.\n")
 	fmt.Fprintf(w, "# host: GOMAXPROCS=%d; peak RSS is the process high-water mark (VmHWM) after the rung\n", runtime.GOMAXPROCS(0))
-	fmt.Fprintf(w, "%7s  %-6s  %10s  %12s  %10s  %10s  %12s\n",
-		"P", "method", "final||r||", "simtime(s)", "msgs", "host(ms)", "peakRSS(MB)")
+	fmt.Fprintf(w, "%7s  %-6s  %10s  %12s  %10s  %9s  %9s  %10s  %8s  %12s\n",
+		"P", "method", "final||r||", "simtime(s)", "msgs", "nbr(ms)", "dense(ms)", "active(ms)", "speedup", "peakRSS(MB)")
 
 	for _, p := range ladder {
 		if p >= a.N {
@@ -79,32 +87,39 @@ func runScaling(w io.Writer, cfg bench.Config) error {
 		setupMS := time.Since(t0).Seconds() * 1e3
 		fmt.Fprintf(w, "%7d  setup: partition+layout+factor %.0f ms\n", p, setupMS)
 		for _, m := range scalingMethods {
-			res, hostMS, err := timedRun(a, setup, m, p, steps, seed, rma.SchedNeighbor, nil, cfg.Local)
+			b, x := problem.ZeroBSystem(a, seed)
+			nbrRes, nbrMS, err := timedRun(a, b, x, setup, m, p, steps, rma.SchedNeighbor, nil, cfg.Local, false)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(w, "%7d  %-6s  %10.3e  %12.4f  %10d  %10.1f  %12s\n",
-				p, m, res.Final().ResNorm, res.Stats.SimTime, res.Stats.TotalMsgs(), hostMS, peakRSSMB())
-		}
-		// Bit-identity audit vs the global-barrier engine on the cheap rungs
-		// (the equivalence tests cover it exhaustively; this pins the exact
-		// binary and flags used for the study).
-		if p <= 1024 {
-			for _, m := range scalingMethods {
-				nbr, _, err := timedRun(a, setup, m, p, steps, seed, rma.SchedNeighbor, nil, cfg.Local)
-				if err != nil {
-					return err
-				}
-				bar, _, err := timedRun(a, setup, m, p, steps, seed, rma.SchedBarrier, nil, cfg.Local)
-				if err != nil {
-					return err
-				}
-				if err := sameResult(nbr, bar); err != nil {
-					return fmt.Errorf("scaling: P=%d %s: neighbor vs barrier engines diverge: %w", p, m, err)
-				}
+			denseRes, denseMS, err := timedRun(a, b, x, setup, m, p, steps, rma.SchedBarrier, nil, cfg.Local, true)
+			if err != nil {
+				return err
 			}
-			fmt.Fprintf(w, "%7d  barrier-vs-neighbor bit-identity: OK (all methods)\n", p)
+			actRes, actMS, err := timedRun(a, b, x, setup, m, p, steps, rma.SchedBarrier, nil, cfg.Local, false)
+			if err != nil {
+				return err
+			}
+			// Bit-identity audits, free off the runs already timed: active
+			// vs dense stepping, and barrier vs neighborhood scheduling.
+			if err := sameResult(actRes, denseRes); err != nil {
+				return fmt.Errorf("scaling: P=%d %s: active vs dense stepping diverge: %w", p, m, err)
+			}
+			if err := sameResult(nbrRes, denseRes); err != nil {
+				return fmt.Errorf("scaling: P=%d %s: neighbor vs barrier engines diverge: %w", p, m, err)
+			}
+			fmt.Fprintf(w, "%7d  %-6s  %10.3e  %12.4f  %10d  %9.1f  %9.1f  %10.1f  %8.2fx  %12s\n",
+				p, m, nbrRes.Final().ResNorm, nbrRes.Stats.SimTime, nbrRes.Stats.TotalMsgs(),
+				nbrMS, denseMS, actMS, denseMS/actMS, peakRSSMB())
+			if s := activeSummary(actRes); s != "" {
+				fmt.Fprintf(w, "%7d  %-6s  %s\n", p, m, s)
+			}
 		}
+		fmt.Fprintf(w, "%7d  bit-identity: active=dense=neighbor OK (all methods)\n", p)
+	}
+
+	if err := runPointLoad(w, cfg, seed); err != nil {
+		return err
 	}
 
 	// Straggler margin: a persistently slow rank plus sparse per-(rank,
@@ -146,11 +161,12 @@ func runScaling(w io.Writer, cfg bench.Config) error {
 		if err != nil {
 			return fmt.Errorf("scaling: straggler P=%d: %w", p, err)
 		}
-		barRes, barMS, err := timedRun(a, setup, core.DistSWD, p, steps, seed, rma.SchedBarrier, plan, cfg.Local)
+		sb, sx := problem.ZeroBSystem(a, seed)
+		barRes, barMS, err := timedRun(a, sb, sx, setup, core.DistSWD, p, steps, rma.SchedBarrier, plan, cfg.Local, false)
 		if err != nil {
 			return err
 		}
-		nbrRes, nbrMS, err := timedRun(a, setup, core.DistSWD, p, steps, seed, rma.SchedNeighbor, plan, cfg.Local)
+		nbrRes, nbrMS, err := timedRun(a, sb, sx, setup, core.DistSWD, p, steps, rma.SchedNeighbor, plan, cfg.Local, false)
 		if err != nil {
 			return err
 		}
@@ -184,19 +200,94 @@ func hostWorkers(p int) int {
 }
 
 // timedRun solves one (method, P) cell off a shared setup and returns the
-// result plus host milliseconds. Always on the pool engine; sched picks the
-// epoch discipline.
-func timedRun(a *sparse.CSR, setup *dmem.Setup, m core.DistMethod, p, steps int, seed int64, sched rma.Sched, plan *rma.FaultPlan, local dmem.LocalSolver) (*dmem.Result, float64, error) {
-	b, x := problem.ZeroBSystem(a, seed)
+// result plus host milliseconds. Always on the pool engine; sched picks
+// the epoch discipline and dense forces dense stepping (the -active=false
+// path). b and x are read-only to the solver, so one pair serves every
+// run of a cell.
+func timedRun(a *sparse.CSR, b, x []float64, setup *dmem.Setup, m core.DistMethod, p, steps int, sched rma.Sched, plan *rma.FaultPlan, local dmem.LocalSolver, dense bool) (*dmem.Result, float64, error) {
+	// Collect the previous run's garbage outside the timed region so a
+	// major GC from a neighboring rung cannot land inside a short run and
+	// distort its wall-clock column.
+	runtime.GC()
 	t0 := time.Now()
 	res, err := core.SolveDistributed(a, b, x, core.DistOptions{
 		Method: m, Ranks: p, Steps: steps, Setup: setup,
-		Parallel: true, Sched: sched, Local: local, Faults: plan,
+		Parallel: true, Sched: sched, Local: local, Faults: plan, Dense: dense,
 	})
 	if err != nil {
 		return nil, 0, fmt.Errorf("scaling: %s P=%d: %w", m, p, err)
 	}
 	return res, time.Since(t0).Seconds() * 1e3, nil
+}
+
+// activeSummary renders a run's active-set occupancy ("" for dense runs:
+// no engine was engaged, e.g. BJ, which is never quiescent by
+// declaration).
+func activeSummary(res *dmem.Result) string {
+	if len(res.ActiveHist) == 0 {
+		return ""
+	}
+	sum := 0
+	for _, n := range res.ActiveHist {
+		sum += n
+	}
+	mean := float64(sum) / float64(len(res.ActiveHist))
+	return fmt.Sprintf("active ranks mean %.1f/%d (%.1f%% of rank-steps skipped)",
+		mean, res.P, 100*(1-mean/float64(res.P)))
+}
+
+// runPointLoad is the active-set headline experiment: a point load
+// (b = e_k at the grid center, zero initial guess) on a scaled 2-D
+// Poisson grid. Away from the load the residual is exactly zero, so ranks
+// hold — with no mail and no relaxation — until the relaxation wavefront
+// reaches them: the regime Southwell iteration, and the active-set
+// engine, are built for. Dense and active stepping are timed on the
+// barrier pool engine and audited for bit-identity; the P=8192 DS row is
+// the >=5x wall-clock target recorded in results/scaling.txt.
+func runPointLoad(w io.Writer, cfg bench.Config, seed int64) error {
+	grid, steps := 512, 400
+	ladder := []int{1024, 8192}
+	if cfg.Quick {
+		grid, steps = 64, 50
+		ladder = []int{16, 64}
+	}
+	a := problem.Poisson2D(grid, grid)
+	if _, err := sparse.Scale(a); err != nil {
+		return fmt.Errorf("scaling: point load: %w", err)
+	}
+	fmt.Fprintf(w, "\n# Point-load experiment: poisson2d %dx%d scaled (n=%d), b = e_k at the grid center, x0 = 0,\n", grid, grid, a.N)
+	fmt.Fprintf(w, "# DS, %d steps/run, barrier pool engine, dense vs active stepping (results audited bit-identical)\n", steps)
+	for _, p := range ladder {
+		t0 := time.Now()
+		part := partition.Partition(a, p, partition.Options{Seed: seed})
+		l, err := dmem.NewLayout(a, part, p)
+		if err != nil {
+			return fmt.Errorf("scaling: point load P=%d: %w", p, err)
+		}
+		setup, err := dmem.NewSetup(l, cfg.Local)
+		if err != nil {
+			return fmt.Errorf("scaling: point load P=%d: %w", p, err)
+		}
+		setupMS := time.Since(t0).Seconds() * 1e3
+		b := make([]float64, a.N)
+		b[a.N/2+grid/2] = 1
+		x := make([]float64, a.N)
+		denseRes, denseMS, err := timedRun(a, b, x, setup, core.DistSWD, p, steps, rma.SchedBarrier, nil, cfg.Local, true)
+		if err != nil {
+			return err
+		}
+		actRes, actMS, err := timedRun(a, b, x, setup, core.DistSWD, p, steps, rma.SchedBarrier, nil, cfg.Local, false)
+		if err != nil {
+			return err
+		}
+		if err := sameResult(actRes, denseRes); err != nil {
+			return fmt.Errorf("scaling: point load P=%d: active vs dense stepping diverge: %w", p, err)
+		}
+		fmt.Fprintf(w, "P=%d DS point load: setup %.0f ms; dense %.1f ms, active %.1f ms (%.2fx; identical results), final||r|| %.3e\n",
+			p, setupMS, denseMS, actMS, denseMS/actMS, actRes.Final().ResNorm)
+		fmt.Fprintf(w, "P=%d %s\n", p, activeSummary(actRes))
+	}
+	return nil
 }
 
 // sameResult checks bit-identity of two runs: history, stats, solution.

@@ -136,6 +136,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		parallel = flag.Bool("goroutines", false, "alias for -par (kept for artifact compatibility)")
 		par      = flag.Bool("par", false, "run simulated ranks on the persistent worker-pool engine")
+		active   = flag.Bool("active", true, "active-set stepping: skip provably quiescent ranks (bit-identical results; -active=false forces dense stepping)")
 		sched    = flag.String("sched", "barrier", "pool-engine epoch discipline: barrier (global) or neighbor (per-neighborhood PSCW groups; implies -par). Results are identical either way")
 		kernWkrs = flag.Int("kernel-workers", 0, "workers for the shared numerical-kernel pool; results are identical for every value (0 = SOUTHWELL_KERNEL_WORKERS env or GOMAXPROCS, 1 = sequential kernels)")
 		grid     = flag.Int("grid", 100, "grid dimension for the default Laplace problem")
@@ -223,7 +224,7 @@ func main() {
 		Method: opts.method, Ranks: *ranks, Steps: *sweepMax, Target: *target,
 		PartSeed: *seed,
 		Parallel: *parallel || *par || schedVal == rma.SchedNeighbor,
-		Sched:    schedVal, Local: opts.local,
+		Sched:    schedVal, Local: opts.local, Dense: !*active,
 		Faults: opts.faults,
 	}
 	var rec *obs.Recorder
@@ -265,6 +266,15 @@ func main() {
 		res.Stats.SolveMsgs, res.Stats.ResMsgs, res.Stats.TotalMsgs())
 	fmt.Printf("communication cost: %.3f (messages/rank)\n", res.Stats.CommCost(res.P))
 	fmt.Printf("sim wall-clock:     %.6f s (alpha-beta-gamma model)\n", res.Stats.SimTime)
+	if len(res.ActiveHist) > 0 {
+		sum := 0
+		for _, n := range res.ActiveHist {
+			sum += n
+		}
+		mean := float64(sum) / float64(len(res.ActiveHist))
+		fmt.Printf("active-set engine:  mean %.1f/%d ranks stepped (%.1f%% skipped)\n",
+			mean, res.P, 100*(1-mean/float64(res.P)))
+	}
 	if opts.faults != nil {
 		fmt.Printf("faults injected:    %d delayed, %d duplicated, %d reordered, %d paused rank-phases\n",
 			res.Stats.DelayedMsgs, res.Stats.DupMsgs, res.Stats.ReorderedBatches, res.Stats.PausedRankPhases)

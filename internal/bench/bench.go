@@ -59,6 +59,9 @@ type Config struct {
 	// and Goroutines it never changes results, so it is excluded from the
 	// run-cache key.
 	Sched rma.Sched
+	// Dense disables the active-set step engine (see core.DistOptions).
+	// Bit-identical either way, so it too stays out of the run-cache key.
+	Dense bool
 	// LogW, when non-nil, receives verbose driver progress: cells skipped
 	// via the run cache and setups shared via the setup cache (-v in
 	// cmd/benchtables). Logging never changes results.
@@ -325,7 +328,7 @@ func runSuite(cfg Config, name string, method core.DistMethod, ranks, steps int)
 	b, x := problem.ZeroBSystem(a, cfg.seed())
 	opt := core.DistOptions{
 		Method: method, Ranks: ranks, Steps: steps, Setup: setup,
-		Parallel: cfg.Goroutines, Sched: cfg.Sched,
+		Parallel: cfg.Goroutines, Sched: cfg.Sched, Dense: cfg.Dense,
 		Local: cfg.Local, Model: cfg.Model, Faults: cfg.Faults,
 	}
 	// Trace hook: any table/figure run can dump its per-rank timeline.

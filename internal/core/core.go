@@ -162,6 +162,10 @@ type DistOptions struct {
 	// Watchdog overrides the stagnation-watchdog patience window in
 	// parallel steps (0 = dmem's default of 10).
 	Watchdog int
+	// Dense disables the active-set step engine and runs every rank every
+	// phase (the zero value steps actively, which is bit-identical; see
+	// dmem.Config.Dense). Diagnostic — results never depend on it.
+	Dense bool
 	// Trace, when non-nil, receives structured runtime and algorithm
 	// events (see internal/obs). Tracing never changes results.
 	Trace obs.Tracer
@@ -200,7 +204,7 @@ func SolveDistributed(a *sparse.CSR, b, x []float64, opt DistOptions) (*dmem.Res
 	cfg := dmem.Config{
 		Steps: opt.Steps, Target: opt.Target, Model: opt.Model,
 		Parallel: opt.Parallel, Sched: opt.Sched, Setup: opt.Setup,
-		Local:  opt.Local,
+		Local: opt.Local, Dense: opt.Dense,
 		Faults: opt.Faults, Watchdog: opt.Watchdog, Trace: opt.Trace,
 	}
 	switch opt.Method {

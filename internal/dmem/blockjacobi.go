@@ -26,7 +26,7 @@ func BlockJacobi(l *Layout, b, x []float64, cfg Config) *Result {
 	states := newRankStates(l, b, x)
 	configureLocal(states, cfg)
 	res := &Result{Method: "Block Jacobi", P: l.P, N: l.A.N}
-	record(res, w, states, 0, 0, 0)
+	record(res, w, states, globalNorm(states), 0, 0, 0)
 
 	// Persistent per-(rank, neighbor) payloads: pointers cross the simulated
 	// network, so the steady-state message path allocates nothing.
@@ -51,6 +51,12 @@ func BlockJacobi(l *Layout, b, x []float64, cfg Config) *Result {
 
 	wd := newWatchdog(cfg, w)
 	cumRelax := 0
+	// BJ's quiescence declaration (engine.go): never quiescent. Every
+	// unpaused rank relaxes unconditionally every step, so the active-set
+	// engine could never put one to sleep correctly (a paused rank holds
+	// with no mail, yet dense BJ relaxes it again the moment it unpauses).
+	// The dense RunPhases path IS the active set here, so Config.Dense has
+	// no effect on this method.
 	for step := 1; step <= cfg.steps(); step++ {
 		relaxedRanks := 0
 		// Reset relax flags on the driving goroutine: a rank paused by the
@@ -91,7 +97,7 @@ func BlockJacobi(l *Layout, b, x []float64, cfg Config) *Result {
 				cumRelax += states[p].rd.M()
 			}
 		}
-		record(res, w, states, step, relaxedRanks, cumRelax)
+		record(res, w, states, globalNorm(states), step, relaxedRanks, cumRelax)
 		if wd.observe(w, step, relaxedRanks) {
 			res.deadlockAt(step)
 			break

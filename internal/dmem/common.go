@@ -72,6 +72,14 @@ type Config struct {
 	// deliveries, stragglers, rank pauses). Nil is a perfect network. The
 	// plan is copied per run, so one plan value can drive many runs.
 	Faults *rma.FaultPlan
+	// Dense disables the active-set step engine: every rank's phase
+	// function runs every step, as the paper's pseudocode is written. The
+	// zero value steps only the active set (engine.go), which is
+	// bit-identical to dense stepping — results, statistics, and simulated
+	// time never differ — but skips provably quiescent ranks' host work.
+	// Runs on rma.SchedNeighbor or under host-time fault hooks
+	// (SpinStragglers, HostDelay) fall back to dense automatically.
+	Dense bool
 	// Watchdog is the patience window, in parallel steps, of the
 	// stagnation/deadlock watchdog (see Result.Deadlocked): a provably
 	// stuck run stops immediately, and a run that has been idle for
@@ -174,6 +182,12 @@ type Result struct {
 	// not seconds) — nil unless the run executed groups on
 	// rma.SchedNeighbor. Scheduling-dependent; never part of results.
 	SchedWaits *obs.WaitTally
+	// ActiveHist is the active-set engine's diagnostic: per step, the
+	// number of ranks scheduled to execute phase 1 (mid-step wakeups by
+	// landed traffic are not recounted). Nil when the run stepped densely.
+	// An engine-occupancy observation, like SchedWaits — never part of
+	// results.
+	ActiveHist []int
 }
 
 // Final returns the last step record.
@@ -258,6 +272,13 @@ type rankState struct {
 	// fault-desynced Γ/Γ̃ estimates become exact again (see distsw.go).
 	gotMsg  bool
 	starved int
+	// starveStamp is the step through which starved is materialized under
+	// the active-set engine: a sleeping rank's dense counter would grow by
+	// one per step, so its true value at the end of step s is
+	// starved + (s - starveStamp), reconciled when the rank wakes
+	// (stepEngine.admit). Always equal to the current step under dense
+	// stepping semantics; unused on a perfect network.
+	starveStamp int
 
 	// Persistent per-neighbor send buffers: message payloads point into
 	// these, so the steady-state message path allocates nothing. A buffer
@@ -306,10 +327,8 @@ func (rs *rankState) relaxDirect() float64 {
 	for li := range rs.r {
 		rs.x[li] += d[li]
 		rs.r[li] = 0
-		for k := rd.RowPtr[li]; k < rd.RowPtr[li+1]; k++ {
-			if rd.IsExt[k] {
-				rs.extDelta[rd.ColExt[k]] -= rd.Val[k] * d[li]
-			}
+		for k := rd.ExtPtr[li]; k < rd.ExtPtr[li+1]; k++ {
+			rs.extDelta[rd.ExtCol[k]] -= rd.ExtVal[k] * d[li]
 		}
 	}
 	return rs.direct.SolveFlops() + float64(rd.NNZ) + float64(rd.M())
@@ -324,13 +343,7 @@ func localBlockCSR(rd *RankData) (rowPtr, col []int, val []float64) {
 	m := rd.M()
 	rowPtr = make([]int, m+1)
 	for li := 0; li < m; li++ {
-		cnt := 1 // diagonal
-		for k := rd.RowPtr[li]; k < rd.RowPtr[li+1]; k++ {
-			if !rd.IsExt[k] {
-				cnt++
-			}
-		}
-		rowPtr[li+1] = rowPtr[li] + cnt
+		rowPtr[li+1] = rowPtr[li] + 1 + (rd.LocPtr[li+1] - rd.LocPtr[li])
 	}
 	col = make([]int, rowPtr[m])
 	val = make([]float64, rowPtr[m])
@@ -338,11 +351,9 @@ func localBlockCSR(rd *RankData) (rowPtr, col []int, val []float64) {
 	for li := 0; li < m; li++ {
 		col[w], val[w] = li, rd.Diag[li]
 		w++
-		for k := rd.RowPtr[li]; k < rd.RowPtr[li+1]; k++ {
-			if !rd.IsExt[k] {
-				col[w], val[w] = rd.ColLoc[k], rd.Val[k]
-				w++
-			}
+		for k := rd.LocPtr[li]; k < rd.LocPtr[li+1]; k++ {
+			col[w], val[w] = int(rd.LocCol[k]), rd.LocVal[k]
+			w++
 		}
 	}
 	return rowPtr, col, val
@@ -411,12 +422,35 @@ func newRankStates(l *Layout, b, x []float64) []*rankState {
 	return states
 }
 
+// computeNorm returns ‖r‖₂ of the local residual. The naive
+// sum-of-squares is kept as the only path that ever runs on finite sums —
+// its bits are pinned by the equivalence suites — and a scaled two-pass
+// fallback handles |r_i| ≳ 1e154, where v*v overflows to +Inf even though
+// the true norm is representable.
 func (rs *rankState) computeNorm() float64 {
 	s := 0.0
 	for _, v := range rs.r {
 		s += v * v
 	}
-	return math.Sqrt(s)
+	if !math.IsInf(s, 1) {
+		return math.Sqrt(s)
+	}
+	maxAbs := 0.0
+	for _, v := range rs.r {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if math.IsInf(maxAbs, 1) {
+		return math.Inf(1)
+	}
+	inv := 1 / maxAbs
+	t := 0.0
+	for _, v := range rs.r {
+		sv := v * inv
+		t += sv * sv
+	}
+	return maxAbs * math.Sqrt(t)
 }
 
 // relaxSweep performs one Gauss-Seidel sweep over the local rows,
@@ -424,19 +458,25 @@ func (rs *rankState) computeNorm() float64 {
 // for external rows in extDelta (which the caller must have zeroed, and is
 // responsible for draining into messages and/or the ghost layer).
 // It returns the flop count for cost charging.
+//
+// The two inner loops walk the split-CSR arrays (layout.go): no per-nonzero
+// class branch, no IsExt/ColExt indirection, uint32 column loads. Local
+// entries touch only r[] and ext entries only extDelta[], and each class
+// preserves source column order, so every memory location sees the exact
+// update sequence of the interleaved walk — Gauss–Seidel bits unchanged.
+//
+//dslint:hotpath
 func (rs *rankState) relaxSweep() float64 {
 	rd := rs.rd
 	for li := range rs.r {
 		d := rs.r[li] / rd.Diag[li]
 		rs.x[li] += d
 		rs.r[li] = 0 // diagonal contribution: r_li -= a_ii * d exactly
-		for k := rd.RowPtr[li]; k < rd.RowPtr[li+1]; k++ {
-			v := rd.Val[k] * d
-			if rd.IsExt[k] {
-				rs.extDelta[rd.ColExt[k]] -= v
-			} else {
-				rs.r[rd.ColLoc[k]] -= v
-			}
+		for k := rd.LocPtr[li]; k < rd.LocPtr[li+1]; k++ {
+			rs.r[rd.LocCol[k]] -= rd.LocVal[k] * d
+		}
+		for k := rd.ExtPtr[li]; k < rd.ExtPtr[li+1]; k++ {
+			rs.extDelta[rd.ExtCol[k]] -= rd.ExtVal[k] * d
 		}
 	}
 	return float64(2*rd.NNZ + 3*rd.M())
@@ -595,6 +635,19 @@ func globalNorm(states []*rankState) float64 {
 	return math.Sqrt(s)
 }
 
+// flatNorm is globalNorm over a maintained flat table of squared local
+// norms (stepEngine.tally refreshes the member slots; sleepers' norms
+// cannot change). The summands and their rank order are exactly
+// globalNorm's, so the result is bit-identical — the flat walk just
+// replaces P pointer chases with a sequential read.
+func flatNorm(norms2 []float64) float64 {
+	s := 0.0
+	for _, v := range norms2 {
+		s += v
+	}
+	return math.Sqrt(s)
+}
+
 // gatherX assembles the global solution vector.
 func gatherX(l *Layout, states []*rankState) []float64 {
 	x := make([]float64, l.A.N)
@@ -614,13 +667,14 @@ func msgBytes(floats int) int { return 8*floats + 16 }
 var debugHook func(states []*rankState)
 
 // record appends a step record with cumulative counters (and mirrors it
-// onto the trace's control track when tracing is on).
-func record(res *Result, w *rma.World, states []*rankState, step, relaxedRanks, cumRelax int) {
+// onto the trace's control track when tracing is on). norm is the global
+// residual norm — globalNorm(states), or the bit-identical flatNorm when
+// the active-set engine maintains the squared-norm table.
+func record(res *Result, w *rma.World, states []*rankState, norm float64, step, relaxedRanks, cumRelax int) {
 	if debugHook != nil {
 		debugHook(states)
 	}
 	st := w.Stats()
-	norm := globalNorm(states)
 	res.History = append(res.History, StepStats{
 		Step:         step,
 		ResNorm:      norm,

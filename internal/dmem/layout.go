@@ -38,22 +38,31 @@ type Layout struct {
 	Ranks []*RankData
 }
 
-// RankData is one rank's static view: a local matrix in CSR-like form where
-// each entry is either local (column owned by this rank) or external
-// (column owned by a neighbor), plus boundary exchange plans.
+// RankData is one rank's static view: a local matrix in split-CSR form
+// where each row's entries are partitioned into local couplings (column
+// owned by this rank) and external couplings (column owned by a neighbor),
+// plus boundary exchange plans.
 type RankData struct {
 	P    int   // this rank
 	Glob []int // global row ids, ascending; local index = position
 
-	// Local matrix: entry k of row li couples to colLoc[k] (local index)
-	// when colIsExt[k] is false, else to ext row colExt[k].
-	RowPtr []int
-	ColLoc []int
-	ColExt []int
-	IsExt  []bool
-	Val    []float64
+	// Local matrix, split CSR: row li's local couplings are
+	// LocCol/LocVal[LocPtr[li]:LocPtr[li+1]] (local column index), its
+	// external couplings ExtCol/ExtVal[ExtPtr[li]:ExtPtr[li+1]] (ext-row
+	// slot). Within a row the source column order is preserved inside each
+	// class; local entries target r[] and ext entries target extDelta[]
+	// (disjoint arrays), so the split sweep applies the identical update
+	// sequence per memory location as an interleaved walk would — the
+	// Gauss–Seidel bits are unchanged. uint32 columns halve the index
+	// bandwidth of the hot sweep.
+	LocPtr []int
+	LocCol []uint32
+	LocVal []float64
+	ExtPtr []int
+	ExtCol []uint32
+	ExtVal []float64
 	Diag   []float64
-	NNZ    int
+	NNZ    int // total off-diagonal entries, local + external
 
 	// External rows: remote rows coupled to this rank's rows.
 	ExtGlob  []int // global ids, ascending
@@ -227,11 +236,8 @@ func buildRank(a *sparse.CSR, l *Layout, p int, pos []int32) *RankData {
 	rd := &RankData{
 		P:      p,
 		Glob:   rows,
-		RowPtr: make([]int, len(rows)+1),
-		ColLoc: make([]int, 0, nnzCap),
-		ColExt: make([]int, 0, nnzCap),
-		IsExt:  make([]bool, 0, nnzCap),
-		Val:    make([]float64, 0, nnzCap),
+		LocPtr: make([]int, len(rows)+1),
+		ExtPtr: make([]int, len(rows)+1),
 		Diag:   make([]float64, len(rows)),
 		NbrIdx: make(map[int]int),
 	}
@@ -273,8 +279,14 @@ func buildRank(a *sparse.CSR, l *Layout, p int, pos []int32) *RankData {
 		rd.BndExt[j] = append(rd.BndExt[j], e)
 	}
 
-	// Local matrix entries. Local rows li ascend, so "already recorded in
-	// MyBnd[j]" is just a last-element check — no per-neighbor seen set.
+	// Local matrix entries, split by coupling class. Local rows li ascend,
+	// so "already recorded in MyBnd[j]" is just a last-element check — no
+	// per-neighbor seen set. Exact sizes are known only after the walk, so
+	// the append slices share the interleaved nnz capacity bound.
+	rd.LocCol = make([]uint32, 0, nnzCap)
+	rd.LocVal = make([]float64, 0, nnzCap)
+	rd.ExtCol = make([]uint32, 0, nnzCap)
+	rd.ExtVal = make([]float64, 0, nnzCap)
 	for li, g := range rows {
 		cols, vals := a.Row(g)
 		for k, c := range cols {
@@ -284,23 +296,21 @@ func buildRank(a *sparse.CSR, l *Layout, p int, pos []int32) *RankData {
 				continue
 			}
 			if l.Part[c] == p {
-				rd.ColLoc = append(rd.ColLoc, l.Local[c])
-				rd.ColExt = append(rd.ColExt, -1)
-				rd.IsExt = append(rd.IsExt, false)
+				rd.LocCol = append(rd.LocCol, uint32(l.Local[c]))
+				rd.LocVal = append(rd.LocVal, v)
 			} else {
-				rd.ColLoc = append(rd.ColLoc, -1)
-				rd.ColExt = append(rd.ColExt, int(pos[c]))
-				rd.IsExt = append(rd.IsExt, true)
+				rd.ExtCol = append(rd.ExtCol, uint32(pos[c]))
+				rd.ExtVal = append(rd.ExtVal, v)
 				j := rd.NbrIdx[l.Part[c]]
 				if mb := rd.MyBnd[j]; len(mb) == 0 || mb[len(mb)-1] != li {
 					rd.MyBnd[j] = append(rd.MyBnd[j], li)
 				}
 			}
-			rd.Val = append(rd.Val, v)
 		}
-		rd.RowPtr[li+1] = len(rd.Val)
+		rd.LocPtr[li+1] = len(rd.LocVal)
+		rd.ExtPtr[li+1] = len(rd.ExtVal)
 	}
-	rd.NNZ = len(rd.Val)
+	rd.NNZ = len(rd.LocVal) + len(rd.ExtVal)
 	// Leave the scratch all -1 for the next rank.
 	for _, g := range rd.ExtGlob {
 		pos[g] = -1

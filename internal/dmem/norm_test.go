@@ -1,0 +1,58 @@
+package dmem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestComputeNormOverflow: ‖r‖ must come out finite when the squared sum
+// overflows but the true norm is representable (|r_i| ≳ 1e154 squares past
+// MaxFloat64). The fallback rescales by the max magnitude, two-pass.
+func TestComputeNormOverflow(t *testing.T) {
+	rs := &rankState{r: []float64{1e200, -1e200}}
+	got := rs.computeNorm()
+	want := 1e200 * math.Sqrt(2)
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("computeNorm overflowed: %g", got)
+	}
+	if math.Abs(got-want)/want > 1e-15 {
+		t.Errorf("computeNorm = %g, want %g", got, want)
+	}
+
+	// A single huge component: the norm is exactly that magnitude.
+	rs = &rankState{r: []float64{0, 3e180, 0}}
+	if got := rs.computeNorm(); got != 3e180 {
+		t.Errorf("computeNorm = %g, want 3e180", got)
+	}
+
+	// Genuinely infinite input stays infinite — the fallback must not turn
+	// a diverged residual into NaN (Inf * 0 in the rescale).
+	rs = &rankState{r: []float64{math.Inf(1), 1}}
+	if got := rs.computeNorm(); !math.IsInf(got, 1) {
+		t.Errorf("computeNorm(Inf component) = %g, want +Inf", got)
+	}
+}
+
+// TestComputeNormNormalPathBits: on non-overflowing data the fallback must
+// never engage — the result is bit-identical to the naive single-pass
+// sqrt(Σ r_i²), which is what every recorded history in the repo was built
+// from.
+func TestComputeNormNormalPathBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(64)
+		r := make([]float64, n)
+		for i := range r {
+			r[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(40)-20))
+		}
+		rs := &rankState{r: r}
+		s := 0.0
+		for _, v := range r {
+			s += v * v
+		}
+		if got, want := rs.computeNorm(), math.Sqrt(s); got != want {
+			t.Fatalf("trial %d: computeNorm = %.17g, naive = %.17g", trial, got, want)
+		}
+	}
+}

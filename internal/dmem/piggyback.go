@@ -15,7 +15,7 @@ func Piggyback2016(l *Layout, b, x []float64, cfg Config) *Result {
 	states := newRankStates(l, b, x)
 	configureLocal(states, cfg)
 	res := &Result{Method: "Piggyback 2016", P: l.P, N: l.A.N}
-	record(res, w, states, 0, 0, 0)
+	record(res, w, states, globalNorm(states), 0, 0, 0)
 
 	// Persistent payloads (pointers cross the network; see blockjacobi.go).
 	solvePl := make([][]psSolvePayload, l.P)
@@ -95,7 +95,7 @@ func Piggyback2016(l *Layout, b, x []float64, cfg Config) *Result {
 				cumRelax += states[p].rd.M()
 			}
 		}
-		record(res, w, states, step, relaxedRanks, cumRelax)
+		record(res, w, states, globalNorm(states), step, relaxedRanks, cumRelax)
 		if wd.observe(w, step, relaxedRanks) {
 			// On a perfect network this fires at the first step without
 			// relaxations — nothing was sent, so no estimate can ever

@@ -106,10 +106,8 @@ func factorSharedDense(rd *RankData) (SharedFactor, error) {
 	dm := dense.NewMatrix(m)
 	for li := 0; li < m; li++ {
 		dm.Set(li, li, rd.Diag[li])
-		for k := rd.RowPtr[li]; k < rd.RowPtr[li+1]; k++ {
-			if !rd.IsExt[k] {
-				dm.Set(li, rd.ColLoc[k], rd.Val[k])
-			}
+		for k := rd.LocPtr[li]; k < rd.LocPtr[li+1]; k++ {
+			dm.Set(li, int(rd.LocCol[k]), rd.LocVal[k])
 		}
 	}
 	lu, err := dense.FactorLU(dm)

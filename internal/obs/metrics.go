@@ -72,6 +72,25 @@ func (r *Recorder) WriteMetrics(w io.Writer) error {
 		}
 	}
 
+	// Active-set engine occupancy: per-step executing/skipped counts and
+	// the mean skip rate. Empty for dense runs (no engine to observe).
+	if len(r.actives) > 0 {
+		var exec, skip int64
+		for _, a := range r.actives {
+			exec += int64(a.executing)
+			skip += int64(a.skipped)
+		}
+		fmt.Fprintf(bw, "\n# active set (mean executing %.1f/%d, mean skip rate %.4f)\n",
+			float64(exec)/float64(len(r.actives)), r.ranks,
+			float64(skip)/float64(exec+skip))
+		fmt.Fprintf(bw, "%6s %10s %10s %10s\n", "step", "executing", "skipped", "skip_rate")
+		for _, a := range r.actives {
+			fmt.Fprintf(bw, "%6d %10d %10d %10.4f\n",
+				a.step, a.executing, a.skipped,
+				float64(a.skipped)/float64(a.executing+a.skipped))
+		}
+	}
+
 	// Per-rank table with the α-β-γ cost split: the rank whose `cost`
 	// column is largest is the one that set SimTime most often.
 	fmt.Fprintf(bw, "\n# per-rank\n")

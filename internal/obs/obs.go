@@ -87,6 +87,11 @@ const (
 	// the origin and target ranks where meaningful (for FlagFaultPaused
 	// and FlagFaultReordered, A is the affected rank).
 	KindFault
+	// KindActiveSet (control shard): the active-set step engine's
+	// occupancy after one solver step. A is the number of ranks scheduled
+	// to execute the step, B the ranks skipped as quiescent, V1 the skip
+	// rate B/(A+B). Dense runs emit none.
+	KindActiveSet
 	numKinds
 )
 
@@ -208,6 +213,14 @@ type stepRecord struct {
 	bytes   int64
 }
 
+// activeRecord is one per-step active-set occupancy row, appended on
+// KindActiveSet (dense runs emit none, so the table stays empty).
+type activeRecord struct {
+	step      int32
+	executing int32
+	skipped   int32
+}
+
 // PoolStats is a snapshot of the shared kernel pool's occupancy counters,
 // surfaced in the metrics summary (set it with SetPool; see
 // parallel.Pool.Stats). Regions and blocks are pure functions of the
@@ -228,12 +241,13 @@ const DefaultShardCap = 4096
 // Tracer (every method is nil-safe), so callers can thread a possibly-nil
 // recorder without wrapping it.
 type Recorder struct {
-	ranks  int
-	shards []shard // [0..ranks-1] per rank, [ranks] control
-	tally  []RankTally
-	steps  []stepRecord
-	pool   PoolStats
-	method string // optional run label for the exporters
+	ranks   int
+	shards  []shard // [0..ranks-1] per rank, [ranks] control
+	tally   []RankTally
+	steps   []stepRecord
+	actives []activeRecord
+	pool    PoolStats
+	method  string // optional run label for the exporters
 }
 
 // NewRecorder creates a recorder for a world of p ranks with
@@ -251,10 +265,11 @@ func NewRecorderCap(p, perRank int) *Recorder {
 		perRank = 16
 	}
 	r := &Recorder{
-		ranks:  p,
-		shards: make([]shard, p+1),
-		tally:  make([]RankTally, p),
-		steps:  make([]stepRecord, 0, 256),
+		ranks:   p,
+		shards:  make([]shard, p+1),
+		tally:   make([]RankTally, p),
+		steps:   make([]stepRecord, 0, 256),
+		actives: make([]activeRecord, 0, 256),
 	}
 	for i := 0; i < p; i++ {
 		r.shards[i].buf = make([]Event, perRank)
@@ -317,6 +332,11 @@ func (r *Recorder) Emit(e Event) {
 			msgs:    e.I1,
 			bytes:   e.I2,
 		})
+		return
+	}
+	if e.Kind == KindActiveSet {
+		//dslint:ignore hotalloc one row per solver step into a 256-cap preallocated table; growth is rare and amortized
+		r.actives = append(r.actives, activeRecord{step: e.Step, executing: e.A, skipped: e.B})
 		return
 	}
 	if e.Rank < 0 || int(e.Rank) >= r.ranks {

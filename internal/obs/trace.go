@@ -49,15 +49,16 @@ func jf(v float64) string {
 func usec(s float64) string { return jf(s * 1e6) }
 
 var kindNames = [numKinds]string{
-	KindPhase:    "phase",
-	KindRankCost: "cost",
-	KindPut:      "put",
-	KindDeliver:  "deliver",
-	KindDecision: "decision",
-	KindResSend:  "res_send",
-	KindStep:     "step",
-	KindWatchdog: "watchdog",
-	KindFault:    "fault",
+	KindPhase:     "phase",
+	KindRankCost:  "cost",
+	KindPut:       "put",
+	KindDeliver:   "deliver",
+	KindDecision:  "decision",
+	KindResSend:   "res_send",
+	KindStep:      "step",
+	KindWatchdog:  "watchdog",
+	KindFault:     "fault",
+	KindActiveSet: "active_set",
 }
 
 var faultNames = [...]string{
@@ -155,6 +156,11 @@ func writeEvent(emit func(string, ...any), tid int, e Event) {
 			tid, usec(e.Ts), jf(e.V1))
 		emit(`{"ph":"C","pid":1,"tid":%d,"ts":%s,"name":"active ranks","args":{"relaxed":%d}}`,
 			tid, usec(e.Ts), e.A)
+	case KindActiveSet:
+		emit(`{"ph":"C","pid":1,"tid":%d,"ts":%s,"name":"active set","args":{"executing":%d,"skipped":%d}}`,
+			tid, usec(e.Ts), e.A, e.B)
+		emit(`{"ph":"C","pid":1,"tid":%d,"ts":%s,"name":"skip rate","args":{"rate":%s}}`,
+			tid, usec(e.Ts), jf(e.V1))
 	case KindWatchdog:
 		verdict := "idle"
 		if e.Flag == FlagWatchdogStop {

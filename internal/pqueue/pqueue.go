@@ -45,50 +45,81 @@ func (h *IndexedMaxHeap) Max() (key int, prio float64) {
 // Prio returns the current priority of key.
 func (h *IndexedMaxHeap) Prio(key int) float64 { return h.prio[key] }
 
-// Update sets the priority of key and restores the heap invariant.
+// Update sets the priority of key and restores the heap invariant,
+// dispatching on the direction of the change. Callers that already know
+// the direction (Southwell zeroes the relaxed equation — a decrease — and
+// neighbor updates only grow residuals between relaxations) can skip the
+// old-priority load and compare with DecreaseKey/IncreaseKey.
 func (h *IndexedMaxHeap) Update(key int, prio float64) {
 	old := h.prio[key]
-	h.prio[key] = prio
 	switch {
 	case prio > old:
-		h.up(h.pos[key])
+		h.IncreaseKey(key, prio)
 	case prio < old:
-		h.down(h.pos[key])
+		h.DecreaseKey(key, prio)
 	}
 }
 
+// IncreaseKey sets the priority of key to prio, which must be >= the
+// current priority, and restores the invariant with a single up-sift.
+func (h *IndexedMaxHeap) IncreaseKey(key int, prio float64) {
+	h.prio[key] = prio
+	h.up(h.pos[key])
+}
+
+// DecreaseKey sets the priority of key to prio, which must be <= the
+// current priority, and restores the invariant with a single down-sift.
+func (h *IndexedMaxHeap) DecreaseKey(key int, prio float64) {
+	h.prio[key] = prio
+	h.down(h.pos[key])
+}
+
+// up and down sift with a hole instead of pairwise swaps: the moving key
+// is held in a register while blockers shift into the hole, so each level
+// costs one heap write and one pos write instead of a three-write swap.
+// The comparison sequence is identical to the swap formulation, so the
+// resulting layout — and therefore every tie-broken Max — is bit-identical
+// to the previous implementation.
+
 func (h *IndexedMaxHeap) up(i int) {
+	k := h.heap[i]
+	kp := h.prio[k]
 	for i > 0 {
 		parent := (i - 1) / 2
-		if h.prio[h.heap[i]] <= h.prio[h.heap[parent]] {
-			return
+		pk := h.heap[parent]
+		if kp <= h.prio[pk] {
+			break
 		}
-		h.swap(i, parent)
+		h.heap[i] = pk
+		h.pos[pk] = i
 		i = parent
 	}
+	h.heap[i] = k
+	h.pos[k] = i
 }
 
 func (h *IndexedMaxHeap) down(i int) {
 	n := len(h.heap)
+	k := h.heap[i]
+	kp := h.prio[k]
 	for {
 		l, r := 2*i+1, 2*i+2
 		largest := i
-		if l < n && h.prio[h.heap[l]] > h.prio[h.heap[largest]] {
-			largest = l
+		lp := kp
+		if l < n && h.prio[h.heap[l]] > lp {
+			largest, lp = l, h.prio[h.heap[l]]
 		}
-		if r < n && h.prio[h.heap[r]] > h.prio[h.heap[largest]] {
+		if r < n && h.prio[h.heap[r]] > lp {
 			largest = r
 		}
 		if largest == i {
-			return
+			break
 		}
-		h.swap(i, largest)
+		ck := h.heap[largest]
+		h.heap[i] = ck
+		h.pos[ck] = i
 		i = largest
 	}
-}
-
-func (h *IndexedMaxHeap) swap(i, j int) {
-	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
-	h.pos[h.heap[i]] = i
-	h.pos[h.heap[j]] = j
+	h.heap[i] = k
+	h.pos[k] = i
 }

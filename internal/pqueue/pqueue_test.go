@@ -58,6 +58,132 @@ func TestSouthwellUsagePattern(t *testing.T) {
 	}
 }
 
+// refHeap is the previous pairwise-swap sift, kept as a test oracle: the
+// hole-based sift must produce bit-identical heap layouts (not just a
+// valid heap — the same array), so every tie-broken Max stays the same.
+type refHeap struct{ h *IndexedMaxHeap }
+
+func (r refHeap) update(key int, prio float64) {
+	h := r.h
+	old := h.prio[key]
+	h.prio[key] = prio
+	switch {
+	case prio > old:
+		i := h.pos[key]
+		for i > 0 {
+			parent := (i - 1) / 2
+			if h.prio[h.heap[i]] <= h.prio[h.heap[parent]] {
+				return
+			}
+			r.swap(i, parent)
+			i = parent
+		}
+	case prio < old:
+		i := h.pos[key]
+		n := len(h.heap)
+		for {
+			l, rr := 2*i+1, 2*i+2
+			largest := i
+			if l < n && h.prio[h.heap[l]] > h.prio[h.heap[largest]] {
+				largest = l
+			}
+			if rr < n && h.prio[h.heap[rr]] > h.prio[h.heap[largest]] {
+				largest = rr
+			}
+			if largest == i {
+				return
+			}
+			r.swap(i, largest)
+			i = largest
+		}
+	}
+}
+
+func (r refHeap) swap(i, j int) {
+	h := r.h
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.pos[h.heap[i]] = i
+	h.pos[h.heap[j]] = j
+}
+
+// TestHoleSiftMatchesSwapReference drives the hole-based Update and the
+// swap-based oracle through identical random operation sequences and
+// requires the full internal layout to match after every operation.
+func TestHoleSiftMatchesSwapReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		prio := make([]float64, n)
+		for i := range prio {
+			prio[i] = rng.NormFloat64()
+		}
+		a, b := New(prio), New(prio)
+		rb := refHeap{b}
+		for step := 0; step < 200; step++ {
+			key, p := rng.Intn(n), rng.NormFloat64()
+			switch rng.Intn(3) {
+			case 0:
+				a.Update(key, p)
+			case 1:
+				if p >= a.Prio(key) {
+					a.IncreaseKey(key, p)
+				} else {
+					a.DecreaseKey(key, p)
+				}
+			default:
+				k, _ := a.Max()
+				key, p = k, 0
+				a.DecreaseKey(k, 0) // Southwell: zero the relaxed equation
+			}
+			rb.update(key, p)
+			for i := 0; i < n; i++ {
+				if a.heap[i] != b.heap[i] || a.pos[i] != b.pos[i] || a.prio[i] != b.prio[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// benchHeap builds the Sequential Southwell access pattern: zero the max,
+// bump a few neighbors.
+func benchHeap(n int) (*IndexedMaxHeap, *rand.Rand) {
+	rng := rand.New(rand.NewSource(7))
+	prio := make([]float64, n)
+	for i := range prio {
+		prio[i] = rng.Float64()
+	}
+	return New(prio), rng
+}
+
+func BenchmarkUpdateSouthwell(b *testing.B) {
+	h, rng := benchHeap(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k, _ := h.Max()
+		h.Update(k, 0)
+		h.Update(rng.Intn(4096), rng.Float64())
+		h.Update(rng.Intn(4096), rng.Float64())
+	}
+}
+
+func BenchmarkDirectedKeysSouthwell(b *testing.B) {
+	h, rng := benchHeap(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k, _ := h.Max()
+		h.DecreaseKey(k, 0)
+		j := rng.Intn(4096)
+		h.IncreaseKey(j, h.Prio(j)+rng.Float64())
+		j = rng.Intn(4096)
+		h.IncreaseKey(j, h.Prio(j)+rng.Float64())
+	}
+}
+
 // Property: Max always agrees with a linear scan under arbitrary updates.
 func TestQuickMaxMatchesScan(t *testing.T) {
 	f := func(seed int64) bool {

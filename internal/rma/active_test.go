@@ -1,0 +1,200 @@
+package rma
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// activeWorld builds a world plus the pieces of an active-subset ring
+// exchange: the phase body (sends to both ring neighbors, reads the
+// window), a membership mask with one rank in `stride` active, and the
+// per-rank idle charge a skipped rank must still pay.
+func activeWorld(p, stride int, parallel bool) (*World, func(int), []bool, []float64) {
+	w := NewWorld(p, DefaultCostModel())
+	w.Parallel = parallel
+	payloads := make([][2]benchPayload, p)
+	for r := range payloads {
+		payloads[r][0].vals = make([]float64, 8)
+		payloads[r][1].vals = make([]float64, 8)
+	}
+	phase := func(rank int) {
+		sum := 0.0
+		for _, m := range w.Inbox(rank) {
+			sum += m.Payload.(*benchPayload).norm
+		}
+		for d := 0; d < 2; d++ {
+			pl := &payloads[rank][d]
+			pl.norm = sum + float64(rank+d)
+			to := rank + 1
+			if d == 1 {
+				to = rank - 1 + p
+			}
+			w.Put(rank, to%p, TagSolve, 8*len(pl.vals)+16, pl)
+		}
+		w.Charge(rank, 100)
+	}
+	active := make([]bool, p)
+	idle := make([]float64, p)
+	for r := range active {
+		active[r] = r%stride == 0
+		idle[r] = 5
+	}
+	return w, phase, active, idle
+}
+
+// maskList is the ascending member list of a mask — the actList form the
+// dmem engine maintains incrementally.
+func maskList(active []bool) []int32 {
+	var l []int32
+	for p, in := range active {
+		if in {
+			l = append(l, int32(p))
+		}
+	}
+	return l
+}
+
+// TestRunPhaseActiveMatchesRunPhase is the runtime half of the active-set
+// bit-identity story: RunPhaseActive over a mask must leave the world in
+// exactly the state of a dense RunPhase whose body branches on the same
+// mask and charges idle[p] for skipped ranks — same stats, same simulated
+// clock, same landed messages. Checked on both engines.
+func TestRunPhaseActiveMatchesRunPhase(t *testing.T) {
+	const p, stride, rounds = 64, 4, 5
+	for _, parallel := range []bool{false, true} {
+		for _, withList := range []bool{false, true} {
+			name := "seq"
+			if parallel {
+				name = "pool"
+			}
+			if withList {
+				name += "/list"
+			} else {
+				name += "/mask"
+			}
+			t.Run(name, func(t *testing.T) {
+				wa, fa, active, idle := activeWorld(p, stride, parallel)
+				defer wa.Close()
+				wd, fd, _, _ := activeWorld(p, stride, parallel)
+				defer wd.Close()
+				var lst []int32
+				if withList {
+					lst = maskList(active)
+				}
+				dense := func(rank int) {
+					if active[rank] {
+						fd(rank)
+					} else {
+						wd.Charge(rank, idle[rank])
+					}
+				}
+				for i := 0; i < rounds; i++ {
+					wa.RunPhaseActive(active, lst, idle, fa)
+					wd.RunPhase(dense)
+					for r := 0; r < p; r++ {
+						ia, id := wa.Inbox(r), wd.Inbox(r)
+						if len(ia) != len(id) {
+							t.Fatalf("round %d rank %d: %d landings active vs %d dense", i, r, len(ia), len(id))
+						}
+						for k := range ia {
+							if ia[k].From != id[k].From || ia[k].Tag != id[k].Tag {
+								t.Fatalf("round %d rank %d landing %d differs", i, r, k)
+							}
+						}
+					}
+				}
+				if sa, sd := wa.Stats(), wd.Stats(); sa != sd {
+					t.Errorf("stats differ:\nactive %+v\ndense  %+v", sa, sd)
+				}
+			})
+		}
+	}
+}
+
+// TestRunPhaseActiveFullMaskIsRunPhase: with every rank active,
+// RunPhaseActive must be RunPhase — the superset-safety anchor the dmem
+// engine's correctness induction bottoms out on.
+func TestRunPhaseActiveFullMaskIsRunPhase(t *testing.T) {
+	const p = 32
+	wa, fa, _, _ := activeWorld(p, 1, false)
+	defer wa.Close()
+	wd, fd, _, _ := activeWorld(p, 1, false)
+	defer wd.Close()
+	all := make([]bool, p)
+	for r := range all {
+		all[r] = true
+	}
+	for i := 0; i < 4; i++ {
+		wa.RunPhaseActive(all, nil, nil, fa)
+		wd.RunPhase(fd)
+	}
+	if sa, sd := wa.Stats(), wd.Stats(); sa != sd {
+		t.Errorf("stats differ:\nactive %+v\ndense  %+v", sa, sd)
+	}
+}
+
+type activeGate struct {
+	Gate map[string]float64 `json:"gate"`
+}
+
+// TestActiveAllocGate pins the steady-state allocation count of one
+// RunPhaseActive phase against BENCH_active.json: the membership mask and
+// idle vector ride through phaseWork by value and the skip path is a bool
+// load plus a float add, so a warmed world must allocate nothing — the
+// property that lets paper-scale runs step in O(active work) without
+// trading away the runtime's zero-alloc discipline.
+func TestActiveAllocGate(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_active.json")
+	if err != nil {
+		t.Fatalf("reading BENCH_active.json: %v", err)
+	}
+	var g activeGate
+	if err := json.Unmarshal(data, &g); err != nil {
+		t.Fatalf("parsing BENCH_active.json: %v", err)
+	}
+	want, ok := g.Gate["ActivePhase"]
+	if !ok {
+		t.Fatal("BENCH_active.json gate has no ActivePhase entry")
+	}
+	for _, parallel := range []bool{false, true} {
+		name := "seq"
+		if parallel {
+			name = "pool"
+		}
+		t.Run(name, func(t *testing.T) {
+			w, f, active, idle := activeWorld(256, 16, parallel)
+			defer w.Close()
+			lst := maskList(active)
+			for i := 0; i < 4; i++ { // warm staging rings, window buffers, pool
+				w.RunPhaseActive(active, lst, idle, f)
+			}
+			got := testing.AllocsPerRun(50, func() {
+				w.RunPhaseActive(active, lst, idle, f)
+			})
+			if got > want {
+				t.Errorf("active phase allocates %.1f allocs/op, gate is %.1f", got, want)
+			}
+		})
+	}
+}
+
+func BenchmarkActivePhases(b *testing.B) {
+	for _, p := range []int{256, 1024, 8192} {
+		for _, stride := range []int{1, 16} {
+			b.Run(fmt.Sprintf("P=%d/active=1in%d", p, stride), func(b *testing.B) {
+				w, f, active, idle := activeWorld(p, stride, false)
+				defer w.Close()
+				lst := maskList(active)
+				w.RunPhaseActive(active, lst, idle, f)
+				w.RunPhaseActive(active, lst, idle, f)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					w.RunPhaseActive(active, lst, idle, f)
+				}
+			})
+		}
+	}
+}

@@ -118,6 +118,28 @@ type World struct {
 	recvMsgs  []int64 // deliver() scratch: per-rank landings, zeroed in place
 	recvBytes []int64
 
+	// liveInbox lists the ranks whose inbox is currently nonempty, in the
+	// order they first received a landing. land maintains it (append on the
+	// empty→nonempty transition) and deliver consumes it, so the active-set
+	// fast path (deliverActive) clears, costs, and order-checks only the
+	// windows that were actually written instead of scanning all P.
+	liveInbox []int32
+
+	// fastActive/fastList/fastIdle hold the membership mask, the optional
+	// sorted member list, and the idle-charge vector of an active-subset
+	// phase in flight (RunPhaseActive). When set — and no fault plan or
+	// tracer is installed — deliver dispatches to deliverActive and
+	// activeRange skips the per-rank idle flop writes; the idle compute
+	// cost folds into the phase maximum analytically, and the list (when
+	// non-nil) replaces every remaining O(P) mask or staging scan.
+	fastActive []bool
+	fastList   []int32
+	fastIdle   []float64
+	// idleMax cache: max over an idle vector, keyed by slice identity —
+	// one O(P) scan per distinct vector per run instead of per phase.
+	idleMaxVec []float64
+	idleMaxVal float64
+
 	simTime    float64
 	totalMsgs  [numTags]int64
 	totalBytes [numTags]int64
@@ -161,12 +183,15 @@ type World struct {
 	nbParks  []int64         // per-worker park counts (wait tally)
 }
 
-// phaseWork is one unit broadcast to the worker pool: either a single
-// barrier-synchronized phase function f, or a whole neighborhood-epoch
-// group g (exactly one of the two is set).
+// phaseWork is one unit broadcast to the worker pool: a single
+// barrier-synchronized phase function f (over all ranks, or — when active
+// is non-nil — over the active subset with idle charging, see active.go),
+// or a whole neighborhood-epoch group g.
 type phaseWork struct {
-	f func(int)
-	g *nbGroup
+	f      func(int)
+	g      *nbGroup
+	active []bool    // non-nil: run f only where set (RunPhaseActive)
+	idle   []float64 // per-rank flop charge for skipped, unpaused ranks
 }
 
 // NewWorld creates a world of p ranks with the given cost model.
@@ -181,6 +206,7 @@ func NewWorld(p int, model CostModel) *World {
 		bytes:     make([]int64, p),
 		recvMsgs:  make([]int64, p),
 		recvBytes: make([]int64, p),
+		liveInbox: make([]int32, 0, p),
 	}
 	return w
 }
@@ -232,6 +258,18 @@ func (w *World) Charge(rank int, flops float64) {
 //dslint:hotpath
 func (w *World) Inbox(rank int) []Message {
 	return w.inbox[rank]
+}
+
+// LiveInboxes returns the ranks whose inbox is currently nonempty, in
+// first-landing order, so boundary scans over P ranks can instead walk the
+// handful of windows that were actually written. The slice is valid until
+// the next phase boundary and must not be mutated. Not maintained on the
+// neighborhood-scheduled (SchedNeighbor) delivery path, which assembles
+// windows per rank — callers there must scan Inbox directly.
+//
+//dslint:hotpath
+func (w *World) LiveInboxes() []int32 {
+	return w.liveInbox
 }
 
 // SetTracer installs (or, with nil, removes) a structured-event tracer.
@@ -348,6 +386,9 @@ func (w *World) startPool() {
 							w.drainWorker(ch)
 							return
 						}
+					} else if pw.active != nil {
+						w.activeRange(lo, hi, pw.f, pw.active, pw.idle)
+						w.barrier.Done()
 					} else {
 						for p := lo; p < hi; p++ {
 							pw.f(p)
@@ -409,11 +450,19 @@ func (w *World) Close() {
 // calling goroutine, so both engines see the same schedule.
 func (w *World) deliver() {
 	ch := w.chaos
+	if ch == nil && w.trace == nil && w.fastActive != nil {
+		w.deliverActive()
+		return
+	}
+	w.liveInbox = w.liveInbox[:0] // rebuilt below (retained windows) and by land
 	for p := range w.inbox {
 		if ch != nil && ch.pausedNow[p] {
 			// One-sided writes to a paused rank's window persist until the
 			// rank next runs an epoch and can actually read them.
 			ch.paused++
+			if len(w.inbox[p]) > 0 {
+				w.liveInbox = append(w.liveInbox, int32(p)) //dslint:ignore hotalloc preallocated to cap P in NewWorld; entries are distinct ranks, so len never exceeds P
+			}
 			if w.trace != nil {
 				w.trace.Emit(obs.Event{
 					Kind:  obs.KindFault,
@@ -562,6 +611,162 @@ func (w *World) deliver() {
 	}
 }
 
+// sweepStaged lands rank from's staged puts (tag totals included) and
+// resets the ring. Shared by deliverActive's mask and member-list sweeps.
+//
+//dslint:hotpath
+func (w *World) sweepStaged(from int) {
+	st := w.staged[from]
+	for i := range st {
+		m := &st[i]
+		w.totalMsgs[m.Tag]++
+		w.totalBytes[m.Tag] += int64(m.Bytes)
+		w.land(*m)
+		m.Payload = nil
+	}
+	w.staged[from] = st[:0]
+}
+
+// idleMax returns max(idle), cached by slice identity: the engine reuses
+// one immutable idle vector per phase kind for a whole run, so the O(P)
+// scan happens once per run rather than once per phase. Callers must not
+// mutate a vector between phases (RunPhaseActive contract).
+func (w *World) idleMax(idle []float64) float64 {
+	if len(idle) == 0 {
+		return 0
+	}
+	if w.idleMaxVec != nil && &w.idleMaxVec[0] == &idle[0] {
+		return w.idleMaxVal
+	}
+	m := 0.0
+	for _, v := range idle {
+		if v > m {
+			m = v
+		}
+	}
+	w.idleMaxVec, w.idleMaxVal = idle, m
+	return m
+}
+
+// deliverActive is deliver for an active-subset phase with no fault plan
+// and no tracer installed: every per-rank loop runs over the ranks that
+// were actually touched (the active set, plus windows that received a
+// landing) rather than all P, so a phase boundary costs O(active work).
+// Skipped ranks carry no idle flop writes on this path — their compute
+// cost Gamma·idle[p] is a monotone function of idle[p] with zero message
+// terms, so folding a single Gamma·max(idle) term reproduces the dense
+// phase maximum bit-for-bit: x+0 = x and max(c·a, c·b) = c·max(a,b) for
+// the non-negative finite costs the model produces, and the max may be
+// taken over ALL ranks (cached per idle vector, see idleMax) because
+// idle[p] lower-bounds every executing rank's flop charge (RunPhaseActive
+// contract) and IEEE multiply-by-nonnegative and add-nonnegative are
+// monotone, so an executing or landing rank's full-formula cost already
+// dominates its own Gamma·idle[p] term.
+//
+//dslint:hotpath
+func (w *World) deliverActive() {
+	// Clear only the windows that were written last phase. land() keeps
+	// liveInbox exact: an entry per nonempty inbox, appended on the
+	// empty→nonempty transition.
+	for _, p := range w.liveInbox {
+		in := w.inbox[p]
+		for i := range in {
+			in[i].Payload = nil // do not retain payloads past their phase
+		}
+		w.inbox[p] = in[:0]
+	}
+	w.liveInbox = w.liveInbox[:0]
+	active, list, idle := w.fastActive, w.fastList, w.fastIdle
+	if list != nil {
+		// Only executing ranks can have staged puts (the RunPhaseActive
+		// contract: an inactive rank's phase sends nothing), and the list is
+		// ascending, so walking it preserves sender-order delivery.
+		for _, from := range list {
+			w.sweepStaged(int(from))
+		}
+	} else {
+		for from := 0; from < w.P; from++ {
+			if len(w.staged[from]) == 0 {
+				continue
+			}
+			w.sweepStaged(from)
+		}
+	}
+
+	// Phase cost: the executing ranks and the landing receivers carry the
+	// full α-β-γ formula; every other skipped rank's cost is exactly
+	// Gamma·idle[p], folded analytically below.
+	maxCost := 0.0
+	if idle != nil {
+		maxCost = w.Model.Gamma * w.idleMax(idle)
+	}
+	if list != nil {
+		for _, p32 := range list {
+			p := int(p32)
+			h := float64(w.msgs[p] + w.recvMsgs[p])
+			hb := float64(w.bytes[p] + w.recvBytes[p])
+			cost := w.Model.Gamma*w.flops[p] + w.Model.Alpha*h + w.Model.Beta*hb
+			if cost > maxCost {
+				maxCost = cost
+			}
+			w.flops[p] = 0
+			w.msgs[p] = 0
+			w.bytes[p] = 0
+			w.recvMsgs[p] = 0
+			w.recvBytes[p] = 0
+		}
+	} else {
+		for p := 0; p < w.P; p++ {
+			if !active[p] {
+				continue
+			}
+			h := float64(w.msgs[p] + w.recvMsgs[p])
+			hb := float64(w.bytes[p] + w.recvBytes[p])
+			cost := w.Model.Gamma*w.flops[p] + w.Model.Alpha*h + w.Model.Beta*hb
+			if cost > maxCost {
+				maxCost = cost
+			}
+			w.flops[p] = 0
+			w.msgs[p] = 0
+			w.bytes[p] = 0
+			w.recvMsgs[p] = 0
+			w.recvBytes[p] = 0
+		}
+	}
+	for _, p32 := range w.liveInbox {
+		p := int(p32)
+		fl := w.flops[p] // 0 for a skipped receiver: no idle writes on this path
+		if !active[p] && idle != nil {
+			fl = idle[p] // dense charges flops[p] = 0 + idle[p]
+		}
+		h := float64(w.msgs[p] + w.recvMsgs[p])
+		hb := float64(w.bytes[p] + w.recvBytes[p])
+		cost := w.Model.Gamma*fl + w.Model.Alpha*h + w.Model.Beta*hb
+		if cost > maxCost {
+			maxCost = cost
+		}
+		w.flops[p] = 0
+		w.msgs[p] = 0
+		w.bytes[p] = 0
+		w.recvMsgs[p] = 0
+		w.recvBytes[p] = 0
+	}
+	w.simTime += maxCost
+	w.phases++
+	// Origin order is deterministic because delivery iterates senders in
+	// ascending rank order; verify cheaply over the written windows only.
+	for _, p := range w.liveInbox {
+		in := w.inbox[p]
+		for i := 1; i < len(in); i++ {
+			if in[i].From < in[i-1].From {
+				//dslint:ignore hotalloc defensive re-sort, unreachable while delivery iterates senders in ascending rank order
+				sort.SliceStable(in, func(a, b int) bool { return in[a].From < in[b].From })
+				break
+			}
+		}
+	}
+}
+
 // emitFault records a fault-layer action on the control track. Fault
 // decisions are made on the driver goroutine in deliver, so these emits
 // are always race-free.
@@ -584,6 +789,9 @@ func (w *World) emitFault(flag uint8, from, to int) {
 // (the write occupies the target's NIC even though its CPU is not
 // involved).
 func (w *World) land(m Message) {
+	if len(w.inbox[m.To]) == 0 {
+		w.liveInbox = append(w.liveInbox, int32(m.To)) //dslint:ignore hotalloc preallocated to cap P in NewWorld; entries are distinct ranks, so len never exceeds P
+	}
 	w.inbox[m.To] = append(w.inbox[m.To], m) //dslint:ignore hotalloc window buffers keep their capacity across phases (deliver resets to in[:0])
 	w.recvMsgs[m.To]++
 	w.recvBytes[m.To] += int64(m.Bytes)
